@@ -1,0 +1,315 @@
+// Benchmark harness: one benchmark per figure/claim in the paper's
+// evaluation section. Each benchmark regenerates its figure from scratch
+// (synthesis included), writes the rendered text into figures/, and
+// reports the headline numbers as custom metrics. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The studies are memoized across benchmarks within one process so Fig. 2
+// and Fig. 3 reuse the Fig. 1 work, exactly as the paper's flow shares
+// MDAC syntheses across configurations.
+package pipesyn_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/report"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/subadc"
+	"pipesyn/internal/synth"
+)
+
+// benchBudget is the per-MDAC synthesis budget used by the figure
+// regeneration. Two restarts keep candidate ordering stable against
+// annealing noise at a few seconds per MDAC.
+func benchBudget(seed int64) synth.Options {
+	return synth.Options{Seed: seed, MaxEvals: 150, PatternIter: 80, Restarts: 2}
+}
+
+func benchOpts(bits int) core.Options {
+	return core.Options{
+		Bits: bits, SampleRate: 40e6, Mode: hybrid.Hybrid, Synth: benchBudget(7),
+	}
+}
+
+var (
+	studyOnce sync.Once
+	studies   map[int]*core.Study
+	studyErr  error
+)
+
+// allStudies runs the 10–13 bit sweep once per process.
+func allStudies(b *testing.B) map[int]*core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		studies = map[int]*core.Study{}
+		for _, k := range []int{10, 11, 12, 13} {
+			st, err := core.Optimize(benchOpts(k))
+			if err != nil {
+				studyErr = err
+				return
+			}
+			studies[k] = st
+		}
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return studies
+}
+
+func writeFigure(b *testing.B, name string, render func(f *os.File) error) {
+	b.Helper()
+	if err := os.MkdirAll("figures", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join("figures", name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig1StagePower13Bit regenerates Fig. 1: per-stage power of the
+// seven 13-bit candidates. Headline metrics: total power of the best
+// candidate and the first-stage power spread across m₁ ∈ {2,3,4}.
+func BenchmarkFig1StagePower13Bit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := allStudies(b)[13]
+		writeFigure(b, "fig1_stage_power_13bit.txt", func(f *os.File) error {
+			if err := report.Fig1(f, st); err != nil {
+				return err
+			}
+			return report.MDACTable(f, st)
+		})
+		b.ReportMetric(st.Best.TotalPower*1e3, "mW_best")
+		// First-stage power per first-stage resolution.
+		firstPower := map[int]float64{}
+		for _, c := range st.Candidates {
+			firstPower[c.Config[0]] = c.Stages[0].Total
+		}
+		b.ReportMetric(firstPower[2]*1e3, "mW_stage1_m2")
+		b.ReportMetric(firstPower[3]*1e3, "mW_stage1_m3")
+		b.ReportMetric(firstPower[4]*1e3, "mW_stage1_m4")
+	}
+}
+
+// BenchmarkFig2TotalPower regenerates Fig. 2: total leading-stage power of
+// every candidate for 10–13 bit targets. Headline metric: best-candidate
+// power per resolution.
+func BenchmarkFig2TotalPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		all := allStudies(b)
+		ordered := []*core.Study{all[10], all[11], all[12], all[13]}
+		writeFigure(b, "fig2_total_power.txt", func(f *os.File) error {
+			return report.Fig2(f, ordered)
+		})
+		for _, st := range ordered {
+			b.ReportMetric(st.Best.TotalPower*1e3, fmt.Sprintf("mW_best_%dbit", st.Bits))
+		}
+	}
+}
+
+// BenchmarkFig3Rules regenerates Fig. 3: the optimum-configuration rules
+// derived from the sweep. Headline metrics: the first/last stage bits of
+// every optimum.
+func BenchmarkFig3Rules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		all := allStudies(b)
+		ordered := []*core.Study{all[10], all[11], all[12], all[13]}
+		rules := core.DeriveRules(ordered)
+		writeFigure(b, "fig3_rules.txt", func(f *os.File) error {
+			return report.Fig3(f, rules)
+		})
+		for _, r := range rules {
+			b.ReportMetric(float64(r.FirstBits), fmt.Sprintf("m1_%dbit", r.Bits))
+			b.ReportMetric(float64(r.LastBits), fmt.Sprintf("mLast_%dbit", r.Bits))
+		}
+	}
+}
+
+// BenchmarkRetargetColdVsWarm reproduces the §4 setup-time claim: a warm-
+// started retarget of a neighbouring spec reaches feasibility with far
+// fewer evaluator calls than the first (cold) synthesis.
+func BenchmarkRetargetColdVsWarm(b *testing.B) {
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 12, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := specs[1]
+	for i := 0; i < b.N; i++ {
+		cold, err := synth.Synthesize(spec, proc, synth.Options{
+			Seed: 21, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		retargeted := spec
+		retargeted.GBWMin *= 1.2
+		retargeted.SRMin *= 1.2
+		warm, err := synth.Synthesize(retargeted, proc, synth.Options{
+			Seed: 22, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
+			WarmStart: cold.Sizing,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		writeFigure(b, "retarget_cold_vs_warm.txt", func(f *os.File) error {
+			fmt.Fprintf(f, "cold: evals=%d evals-to-feasible=%d power=%.4g W feasible=%v\n",
+				cold.Evals, cold.EvalsToFeasible, cold.Metrics.Power, cold.Feasible)
+			fmt.Fprintf(f, "warm: evals=%d evals-to-feasible=%d power=%.4g W feasible=%v\n",
+				warm.Evals, warm.EvalsToFeasible, warm.Metrics.Power, warm.Feasible)
+			return nil
+		})
+		b.ReportMetric(float64(cold.Evals), "evals_cold")
+		b.ReportMetric(float64(warm.Evals), "evals_warm")
+		if warm.EvalsToFeasible > 0 && cold.EvalsToFeasible > 0 {
+			b.ReportMetric(float64(cold.EvalsToFeasible)/float64(warm.EvalsToFeasible), "feasible_speedup")
+		}
+	}
+}
+
+// BenchmarkEvalHybridVsSimVsEq reproduces the §3 evaluation comparison:
+// per-candidate evaluation time for the three evaluator modes, plus the
+// accuracy of the cheap modes against the swept-AC reference.
+func BenchmarkEvalHybridVsSimVsEq(b *testing.B) {
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 12, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := specs[1]
+	sz := opamp.InitialSizing(proc, opamp.BlockSpec{
+		GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad, CFeed: sp.CFeed,
+		Gain: sp.GainMin, Swing: sp.SwingMin,
+	})
+	ref, err := hybrid.NewStageEvaluator(sp, proc, hybrid.SimOnly).Evaluate(sz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []hybrid.Mode{hybrid.SimOnly, hybrid.Hybrid, hybrid.EquationOnly} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			se := hybrid.NewStageEvaluator(sp, proc, mode)
+			var m hybrid.Metrics
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err = se.Evaluate(sz)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			relErr := func(got, want float64) float64 {
+				if want == 0 {
+					return 0
+				}
+				d := (got - want) / want
+				if d < 0 {
+					d = -d
+				}
+				return d
+			}
+			b.ReportMetric(relErr(m.CrossoverHz, ref.CrossoverHz)*100, "%err_crossover")
+			b.ReportMetric(relErr(m.LoopGain0, ref.LoopGain0)*100, "%err_loopgain")
+			b.ReportMetric(relErr(m.SettleTime, ref.SettleTime)*100, "%err_settle")
+			b.ReportMetric(float64(m.TFTime.Nanoseconds()), "ns_tf_leg")
+		})
+	}
+}
+
+// BenchmarkBehavioralVerification regenerates the cross-layer check: the
+// best synthesized 13-bit configuration run through the behavioral
+// converter with its synthesized static errors and kT/C noise.
+func BenchmarkBehavioralVerification(b *testing.B) {
+	st := allStudies(b)[13]
+	for i := 0; i < b.N; i++ {
+		m, err := core.BehavioralCheck(st, benchOpts(13), 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		writeFigure(b, "behavioral_13bit.txt", func(f *os.File) error {
+			_, err := fmt.Fprintf(f, "config %s: SNDR %.2f dB, SFDR %.2f dB, ENOB %.2f\n",
+				st.Best.Config, m.SNDRdB, m.SFDRdB, m.ENOB)
+			return err
+		})
+		b.ReportMetric(m.ENOB, "ENOB")
+	}
+}
+
+// BenchmarkSubADCPowerCurve is the ablation behind the enumeration bound
+// mᵢ ≤ 4: comparator-bank power grows exponentially with stage resolution.
+func BenchmarkSubADCPowerCurve(b *testing.B) {
+	proc := pdk.TSMC025()
+	for i := 0; i < b.N; i++ {
+		curve, err := subADCCurve(proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, p := range curve {
+			b.ReportMetric(p*1e3, fmt.Sprintf("mW_%dbit_bank", j+2))
+		}
+	}
+}
+
+func subADCCurve(proc *pdk.Process) ([]float64, error) {
+	return subadc.PowerCurve(proc, 40e6, 1.0, 2, 5)
+}
+
+// BenchmarkTopologyAblation is the design-choice ablation DESIGN.md calls
+// out: for each stage of the 13-bit 4-3-2 pipeline, compare the designer-
+// equation power of the two-stage Miller OTA against the single-stage
+// telescopic cascode. The telescopic undercuts the Miller wherever its
+// limited gain suffices (later stages); the front stage needs the
+// two-stage amplifier — which is why the synthesis flow carries both.
+func BenchmarkTopologyAblation(b *testing.B) {
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 13, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{4, 3, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, sp := range specs {
+			blk := opamp.BlockSpec{
+				GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad,
+				CFeed: sp.CFeed, Gain: sp.GainMin, Swing: sp.SwingMin,
+			}
+			miller := opamp.Analyze(proc, opamp.InitialSizing(proc, blk), sp.CLoad+sp.CFeed)
+			tele := opamp.AnalyzeTelescopic(proc, opamp.InitialTelescopic(proc, blk), sp.CLoad+sp.CFeed)
+			b.ReportMetric(miller.Power*1e3, fmt.Sprintf("mW_miller_s%d", sp.Stage))
+			b.ReportMetric(tele.Power*1e3, fmt.Sprintf("mW_tele_s%d", sp.Stage))
+			// Telescopic feasibility marker: gain headroom vs requirement.
+			b.ReportMetric(tele.A0/sp.GainMin, fmt.Sprintf("teleGainMargin_s%d", sp.Stage))
+		}
+		// Full hybrid synthesis of the last listed stage with both cells:
+		// where the telescopic has gain headroom it should win on power.
+		last := specs[len(specs)-1]
+		for _, topo := range []opamp.Topology{opamp.Miller, opamp.Telescopic} {
+			res, err := synth.Synthesize(last, proc, synth.Options{
+				Seed: 31, MaxEvals: 80, PatternIter: 40,
+				Mode: hybrid.Hybrid, Topology: topo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Metrics.Power*1e3, fmt.Sprintf("mW_synth_%s", topo))
+		}
+	}
+}

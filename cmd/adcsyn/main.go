@@ -1,0 +1,99 @@
+// Command adcsyn runs the full designer-driven topology optimization for a
+// pipelined ADC: enumerate stage-resolution candidates, synthesize every
+// distinct MDAC with hybrid evaluation, add sub-ADC power, and print the
+// ranked configurations.
+//
+// Usage:
+//
+//	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
+//	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/report"
+	"pipesyn/internal/synth"
+)
+
+func main() {
+	bits := flag.Int("bits", 13, "target resolution, bits")
+	fs := flag.Float64("fs", 40e6, "sample rate, Hz")
+	vref := flag.Float64("vref", 1.0, "reference (full scale ±VRef), V")
+	modeStr := flag.String("mode", "hybrid", "evaluation mode: hybrid, equation, simulation")
+	evals := flag.Int("evals", 180, "annealing evaluations per MDAC")
+	pattern := flag.Int("pattern", 90, "pattern-search evaluations per MDAC")
+	restarts := flag.Int("restarts", 1, "synthesis restarts per MDAC")
+	retarget := flag.Bool("retarget", false, "chain warm starts across MDACs (faster, slightly suboptimal)")
+	seed := flag.Int64("seed", 7, "random seed")
+	verify := flag.Bool("verify", false, "run a behavioral sine test on the best configuration")
+	withSHA := flag.Bool("sha", false, "also synthesize the front-end sample-and-hold")
+	flag.Parse()
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Bits: *bits, SampleRate: *fs, VRef: *vref, Mode: mode, Retarget: *retarget,
+		IncludeSHA: *withSHA,
+		Synth:      synth.Options{Seed: *seed, MaxEvals: *evals, PatternIter: *pattern, Restarts: *restarts},
+	}
+	t0 := time.Now()
+	st, err := core.Optimize(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pipesyn topology optimization — %d-bit %.0f MSPS (%s mode)\n",
+		*bits, *fs/1e6, mode)
+	fmt.Printf("elapsed %s, %d evaluator calls, %d MDAC design points (%d paper classes)\n\n",
+		time.Since(t0).Round(time.Millisecond), st.TotalEvals, len(st.MDACs), st.PaperMDACClasses)
+	if err := report.Fig1(os.Stdout, st); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := report.Fig2(os.Stdout, []*core.Study{st}); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := report.MDACTable(os.Stdout, st); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nbest configuration: %s (%.3f mW over the leading stages)\n",
+		st.Best.Config, st.Best.TotalPower*1e3)
+	if st.SHA != nil {
+		fmt.Printf("front-end S/H: %.3f mW (shared by every candidate) → full front end %.3f mW\n",
+			st.SHA.Metrics.Power*1e3, st.FullPower(st.Best)*1e3)
+	}
+
+	if *verify {
+		m, err := core.BehavioralCheck(st, opts, 4096)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("behavioral check: ENOB %.2f bits (SNDR %.1f dB, SFDR %.1f dB)\n",
+			m.ENOB, m.SNDRdB, m.SFDRdB)
+	}
+}
+
+func parseMode(s string) (hybrid.Mode, error) {
+	switch s {
+	case "hybrid":
+		return hybrid.Hybrid, nil
+	case "equation":
+		return hybrid.EquationOnly, nil
+	case "simulation":
+		return hybrid.SimOnly, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adcsyn:", err)
+	os.Exit(1)
+}

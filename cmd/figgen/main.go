@@ -1,0 +1,251 @@
+// Command figgen regenerates the paper's figures from scratch:
+//
+//	figgen -fig 1          stage power per 13-bit candidate (Fig. 1)
+//	figgen -fig 2          total power for 10–13 bit candidates (Fig. 2)
+//	figgen -fig 3          optimum-configuration rules (Fig. 3)
+//	figgen -fig retarget   cold vs warm-start synthesis (setup-time claim)
+//	figgen -fig hybrid     evaluation-mode accuracy/speed comparison (§3)
+//	figgen -fig all        everything
+//
+// Use -csv to emit machine-readable data alongside the text rendering,
+// and -quick for a low-budget smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/report"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/synth"
+	"pipesyn/internal/units"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure: 1, 2, 3, retarget, hybrid, all")
+	quick := flag.Bool("quick", false, "small synthesis budgets (smoke run)")
+	csv := flag.Bool("csv", false, "emit CSV after each figure")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	budget := synth.Options{Seed: *seed, MaxEvals: 180, PatternIter: 90, Restarts: 2}
+	if *quick {
+		budget = synth.Options{Seed: *seed, MaxEvals: 40, PatternIter: 20}
+	}
+	g := &generator{budget: budget, csv: *csv, quick: *quick}
+
+	switch *fig {
+	case "1":
+		g.fig1()
+	case "2":
+		g.fig2and3(false)
+	case "3":
+		g.fig2and3(true)
+	case "retarget":
+		g.retarget()
+	case "hybrid":
+		g.hybridCompare()
+	case "all":
+		g.fig1()
+		g.fig2and3(true)
+		g.retarget()
+		g.hybridCompare()
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+type generator struct {
+	budget synth.Options
+	csv    bool
+	quick  bool
+
+	study13 *core.Study // cached across figures
+}
+
+func (g *generator) opts(bits int) core.Options {
+	return core.Options{
+		Bits: bits, SampleRate: 40e6, Mode: hybrid.Hybrid, Synth: g.budget,
+	}
+}
+
+func (g *generator) run13() *core.Study {
+	if g.study13 == nil {
+		st, err := core.Optimize(g.opts(13))
+		if err != nil {
+			fatal(err)
+		}
+		g.study13 = st
+	}
+	return g.study13
+}
+
+func (g *generator) fig1() {
+	t0 := time.Now()
+	st := g.run13()
+	if err := report.Fig1(os.Stdout, st); err != nil {
+		fatal(err)
+	}
+	if err := report.MDACTable(os.Stdout, st); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(generated in %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	if g.csv {
+		t := figure1CSV(st)
+		if err := t.CSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func figure1CSV(st *core.Study) *report.Table {
+	t := &report.Table{Header: []string{"config", "stage", "bits", "mdac_w", "subadc_w", "total_w", "feasible"}}
+	for _, c := range st.Candidates {
+		for _, s := range c.Stages {
+			t.Add(c.Config.String(), fmt.Sprint(s.Stage), fmt.Sprint(s.Bits),
+				fmt.Sprint(s.MDACPower), fmt.Sprint(s.SubADCPower),
+				fmt.Sprint(s.Total), fmt.Sprint(s.Feasible))
+		}
+	}
+	return t
+}
+
+func (g *generator) fig2and3(withRules bool) {
+	t0 := time.Now()
+	bits := []int{10, 11, 12, 13}
+	if g.quick {
+		bits = []int{10, 13}
+	}
+	var studies []*core.Study
+	for _, k := range bits {
+		if k == 13 {
+			studies = append(studies, g.run13())
+			continue
+		}
+		st, err := core.Optimize(g.opts(k))
+		if err != nil {
+			fatal(err)
+		}
+		studies = append(studies, st)
+	}
+	if err := report.Fig2(os.Stdout, studies); err != nil {
+		fatal(err)
+	}
+	if withRules {
+		fmt.Println()
+		if err := report.Fig3(os.Stdout, core.DeriveRules(studies)); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("(generated in %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	if g.csv {
+		t := &report.Table{Header: []string{"bits", "config", "total_w", "feasible"}}
+		for _, st := range studies {
+			for _, c := range st.Candidates {
+				t.Add(fmt.Sprint(st.Bits), c.Config.String(),
+					fmt.Sprint(c.TotalPower), fmt.Sprint(c.AllFeasible))
+			}
+		}
+		if err := t.CSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// retarget reproduces the paper's setup-time observation: the first
+// synthesis is expensive, retargeting to a neighbouring spec is cheap.
+func (g *generator) retarget() {
+	t0 := time.Now()
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 12, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		fatal(err)
+	}
+	spec := specs[1]
+	cold, err := synth.Synthesize(spec, proc, synth.Options{
+		Seed: 21, MaxEvals: g.budget.MaxEvals, PatternIter: g.budget.PatternIter, Mode: hybrid.Hybrid,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Retarget: 20% faster sampling for the same stage.
+	spec2 := spec
+	spec2.GBWMin *= 1.2
+	spec2.SRMin *= 1.2
+	warm, err := synth.Synthesize(spec2, proc, synth.Options{
+		Seed: 22, MaxEvals: g.budget.MaxEvals, PatternIter: g.budget.PatternIter,
+		Mode: hybrid.Hybrid, WarmStart: cold.Sizing,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Setup-time experiment — cold synthesis vs warm retargeting (§4 text)")
+	t := &report.Table{Header: []string{"run", "evals", "evals-to-feasible", "power", "feasible"}}
+	t.Add("cold (first block)", fmt.Sprint(cold.Evals), fmt.Sprint(cold.EvalsToFeasible),
+		units.Format(cold.Metrics.Power, "W"), fmt.Sprint(cold.Feasible))
+	t.Add("warm (retarget)", fmt.Sprint(warm.Evals), fmt.Sprint(warm.EvalsToFeasible),
+		units.Format(warm.Metrics.Power, "W"), fmt.Sprint(warm.Feasible))
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if cold.Evals > 0 {
+		fmt.Printf("retarget effort ratio: %.1f×\n", float64(cold.Evals)/float64(warm.Evals))
+	}
+	fmt.Printf("(generated in %s)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+// hybridCompare reproduces the §3 argument: hybrid evaluation matches the
+// simulation answer at a fraction of the cost; equations are faster still
+// but less faithful.
+func (g *generator) hybridCompare() {
+	t0 := time.Now()
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 12, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		fatal(err)
+	}
+	sp := specs[1]
+	sz := opamp.InitialSizing(proc, opamp.BlockSpec{
+		GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad, CFeed: sp.CFeed,
+		Gain: sp.GainMin, Swing: sp.SwingMin,
+	})
+	fmt.Println("Evaluation-mode comparison (§3) — one MDAC candidate, three evaluators")
+	t := &report.Table{Header: []string{"mode", "time/eval", "TF leg", "loop gain", "crossover", "PM", "settle"}}
+	reps := 5
+	for _, mode := range []hybrid.Mode{hybrid.SimOnly, hybrid.Hybrid, hybrid.EquationOnly} {
+		se := hybrid.NewStageEvaluator(sp, proc, mode)
+		var m hybrid.Metrics
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			m, err = se.Evaluate(sz)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		per := time.Since(start) / time.Duration(reps)
+		t.Add(mode.String(), per.Round(time.Microsecond).String(),
+			m.TFTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", m.LoopGain0),
+			units.Format(m.CrossoverHz, "Hz"),
+			fmt.Sprintf("%.1f°", m.PhaseMargin),
+			units.Format(m.SettleTime, "s"))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(generated in %s)\n\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figgen:", err)
+	os.Exit(1)
+}

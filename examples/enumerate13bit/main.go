@@ -1,0 +1,45 @@
+// Enumerate13bit walks through the paper's §2 candidate enumeration: the
+// constraint set, the seven 13-bit configurations, their implied full
+// pipelines, and the eleven distinct MDACs they share.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipesyn/internal/enum"
+)
+
+func main() {
+	cs := enum.Constraints{}
+	cs.FillDefaults()
+	fmt.Printf("constraints: %d ≤ mᵢ ≤ %d, mᵢ ≥ mᵢ₊₁, leading stages to %d bits\n\n",
+		cs.MinStageBits, cs.MaxStageBits, cs.LeadingBits)
+
+	cands, err := enum.Candidates(13, enum.Constraints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the %d candidates for a 13-bit converter:\n", len(cands))
+	for _, c := range cands {
+		full, err := c.WithTail(13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s leading R=%d bits, full pipeline %s (%d stages)\n",
+			c, c.Resolution(), full, len(full))
+	}
+
+	keys := enum.DistinctMDACs(cands)
+	fmt.Printf("\ndistinct MDAC design classes across all candidates: %d (the paper's \"eleven MDACs\")\n", len(keys))
+	for _, k := range keys {
+		fmt.Printf("  stage %d, %d-bit\n", k.Stage, k.Bits)
+	}
+
+	fmt.Println("\nper-stage residue gains of 4-3-2:")
+	cfg := enum.Config{4, 3, 2}
+	for i := range cfg {
+		fmt.Printf("  stage %d: %d raw bits → interstage gain %d×, cumulative resolution %d bits\n",
+			i+1, cfg[i], cfg.Gain(i), cfg.ResolutionAfter(i+1))
+	}
+}

@@ -1,0 +1,3 @@
+module pipesyn
+
+go 1.22

@@ -1,0 +1,210 @@
+// Package adcsim is a behavioral simulator for pipelined ADCs with
+// digital correction. It models each stage as a flash sub-ADC deciding a
+// DAC level plus an amplified residue, with injectable non-idealities
+// (gain error, input-referred noise, comparator offsets, incomplete
+// settling), then reconstructs the output code exactly as the correction
+// logic does. Together with package dsp it verifies that a synthesized
+// stage-resolution configuration actually delivers the target ENOB — and
+// that the 1-bit redundancy really absorbs comparator-level errors.
+package adcsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pipesyn/internal/enum"
+)
+
+// StageModel is the behavioral description of one pipeline stage.
+type StageModel struct {
+	Bits int // raw resolution mᵢ (gain 2^(mᵢ−1))
+	// Non-idealities; all zero = ideal stage. GainError and SettleError
+	// scale the entire closed-loop residue expression G·v − d·VRef — in a
+	// real MDAC the signal gain and the DAC subtraction share the same
+	// capacitor ratio and loop gain, which is exactly why such errors
+	// produce code-transition discontinuities rather than a benign
+	// full-scale rescale.
+	GainError     float64 // relative closed-loop gain error
+	NoiseRMS      float64 // input-referred additive noise, V
+	CompOffsetRMS float64 // per-comparator threshold offset, V
+	SettleError   float64 // unsettled fraction of the residue step
+}
+
+// Converter is a behavioral pipelined ADC. The input range is ±VRef.
+type Converter struct {
+	VRef   float64
+	Stages []StageModel
+	rng    *rand.Rand
+	// offsets[i][j] is the fixed offset of stage i's j-th threshold,
+	// drawn once at construction (offsets are static mismatch, not noise).
+	offsets [][]float64
+}
+
+// New builds a converter from a full configuration (use
+// enum.Config.WithTail to extend a leading-stage candidate to K bits).
+// Seed fixes the mismatch draw.
+func New(cfg enum.Config, vref float64, seed int64) (*Converter, error) {
+	if !cfg.Valid(6) {
+		return nil, fmt.Errorf("adcsim: invalid configuration %s", cfg)
+	}
+	if vref <= 0 {
+		return nil, fmt.Errorf("adcsim: non-positive reference")
+	}
+	c := &Converter{VRef: vref, rng: rand.New(rand.NewSource(seed))}
+	for _, m := range cfg {
+		c.Stages = append(c.Stages, StageModel{Bits: m})
+	}
+	c.resampleOffsets()
+	return c, nil
+}
+
+// SetStage replaces a stage model (to inject non-idealities) and redraws
+// that stage's comparator offsets.
+func (c *Converter) SetStage(i int, m StageModel) error {
+	if i < 0 || i >= len(c.Stages) {
+		return fmt.Errorf("adcsim: stage %d out of range", i)
+	}
+	if m.Bits != c.Stages[i].Bits {
+		return fmt.Errorf("adcsim: cannot change stage resolution (%d→%d)", c.Stages[i].Bits, m.Bits)
+	}
+	c.Stages[i] = m
+	c.resampleOffsets()
+	return nil
+}
+
+func (c *Converter) resampleOffsets() {
+	c.offsets = make([][]float64, len(c.Stages))
+	for i, st := range c.Stages {
+		g := 1 << (st.Bits - 1)
+		n := 2*g - 2 // thresholds of a 2^bits−2 comparator flash
+		c.offsets[i] = make([]float64, n)
+		for j := range c.offsets[i] {
+			c.offsets[i][j] = c.rng.NormFloat64() * st.CompOffsetRMS
+		}
+	}
+}
+
+// Resolution returns the effective number of bits of the pipeline,
+// m₁ + Σ(mᵢ−1).
+func (c *Converter) Resolution() int {
+	cfg := make(enum.Config, len(c.Stages))
+	for i, s := range c.Stages {
+		cfg[i] = s.Bits
+	}
+	return cfg.Resolution()
+}
+
+// Convert digitizes one sample (clamped to ±VRef) and returns the
+// corrected output code in [0, 2^K).
+func (c *Converter) Convert(vin float64) int {
+	k := c.Resolution()
+	vhat := c.convertValue(vin)
+	// Map the reconstructed value (in VRef units, range ±1) to a code.
+	// Ideal reconstructions land exactly on the grid x ∈ {1 … 2^K−1}, so
+	// round (not floor) keeps float dust from dithering adjacent codes;
+	// the shift by one puts the bottom of the range at code 0 (the top
+	// code 2^K−1 is unused, as in any redundancy-corrected pipeline).
+	x := (vhat + 1) / 2 * math.Exp2(float64(k))
+	code := int(math.Round(x)) - 1
+	if code < 0 {
+		code = 0
+	}
+	if max := int(math.Exp2(float64(k))) - 1; code > max {
+		code = max
+	}
+	return code
+}
+
+// convertValue runs the pipeline and digital correction, returning the
+// reconstructed input estimate normalized to VRef (range ≈ ±1).
+func (c *Converter) convertValue(vin float64) float64 {
+	v := clamp(vin, -c.VRef, c.VRef)
+	acc := 0.0      // reconstructed estimate, in VRef units
+	gainProd := 1.0 // Π_{j≤i} G_j
+	for i, st := range c.Stages {
+		g := float64(int(1) << (st.Bits - 1))
+		if st.NoiseRMS > 0 {
+			v += c.rng.NormFloat64() * st.NoiseRMS
+		}
+		d := c.subADC(i, v, int(g))
+		gainProd *= g
+		acc += float64(d) / gainProd // d_i·VRef / Π_{j≤i}G_j, normalized
+		if i == len(c.Stages)-1 {
+			break
+		}
+		// Residue amplification: gain error and incomplete settling scale
+		// the whole closed-loop expression (signal and DAC terms share
+		// the capacitor ratio), creating the classic INL staircase.
+		v = (1 + st.GainError) * (1 - st.SettleError) * (g*v - float64(d)*c.VRef)
+	}
+	// The final residue below the last flash's LSB is the converter's
+	// quantization error (±½ LSB for ideal stages).
+	return acc
+}
+
+// subADC quantizes v with stage i's flash: thresholds at
+// (j+0.5)·VRef/G for j in [−(G−1), G−2], plus static offsets.
+// The decision d ∈ [−(G−1), G−1].
+func (c *Converter) subADC(stage int, v float64, g int) int {
+	d := -(g - 1)
+	offs := c.offsets[stage]
+	for j := -(g - 1); j <= g-2; j++ {
+		t := (float64(j) + 0.5) * c.VRef / float64(g)
+		oi := j + g - 1
+		if oi < len(offs) {
+			t += offs[oi]
+		}
+		if v > t {
+			d++
+		}
+	}
+	return d
+}
+
+// ConvertAll digitizes a sample vector.
+func (c *Converter) ConvertAll(samples []float64) []int {
+	out := make([]int, len(samples))
+	for i, v := range samples {
+		out[i] = c.Convert(v)
+	}
+	return out
+}
+
+// SineTest runs a coherent full-scale sine test and returns the codes as
+// normalized floats ready for dsp.SineTestMetrics. amplitude is relative
+// to full scale (use ~0.95 to avoid clipping the edges).
+func (c *Converter) SineTest(fs, fSig float64, n int, amplitude float64) []float64 {
+	k := c.Resolution()
+	scale := math.Exp2(float64(k))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := amplitude * c.VRef * math.Sin(2*math.Pi*fSig*float64(i)/fs)
+		out[i] = float64(c.Convert(v)) / scale
+	}
+	return out
+}
+
+// RampHistogram drives a uniform ramp through the converter and returns
+// the code histogram for INL/DNL extraction.
+func (c *Converter) RampHistogram(samplesPerCode int) []int {
+	k := c.Resolution()
+	codes := int(math.Exp2(float64(k)))
+	total := codes * samplesPerCode
+	hist := make([]int, codes)
+	for i := 0; i < total; i++ {
+		v := -c.VRef + 2*c.VRef*(float64(i)+0.5)/float64(total)
+		hist[c.Convert(v)]++
+	}
+	return hist
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,22 @@
+package adcsim
+
+import (
+	"testing"
+
+	"pipesyn/internal/enum"
+)
+
+func BenchmarkConvert13Bit(b *testing.B) {
+	full, err := enum.Config{4, 3, 2}.WithTail(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(full, 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Convert(0.37)
+	}
+}

@@ -1,0 +1,344 @@
+// Package core implements the paper's contribution: designer-driven
+// topology optimization for pipelined ADCs. It glues the whole stack
+// together exactly as §2–§4 describe:
+//
+//  1. enumerate the stage-resolution candidates for the target resolution
+//     (package enum),
+//  2. translate converter-level specs into per-stage MDAC block specs with
+//     the designer's analytical system model (package stagespec),
+//  3. synthesize each *distinct* MDAC once with the cell-level sizing
+//     engine driven by hybrid evaluation (packages synth/hybrid), reusing
+//     earlier results as warm starts — the paper's "retargeting" that cut
+//     setup from weeks to a day,
+//  4. add the flash sub-ADC power (package subadc) and rank candidates by
+//     total leading-stage power (Fig. 1/Fig. 2), and
+//  5. distil the optimum-configuration decision rules across target
+//     resolutions (Fig. 3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pipesyn/internal/adcsim"
+	"pipesyn/internal/dsp"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/sha"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/subadc"
+	"pipesyn/internal/synth"
+)
+
+// Options configures a topology-optimization study.
+type Options struct {
+	Bits        int
+	SampleRate  float64
+	VRef        float64
+	Process     *pdk.Process
+	Mode        hybrid.Mode
+	Constraints enum.Constraints
+	Synth       synth.Options
+	// Retarget chains warm starts across the distinct MDACs (the paper's
+	// weeks→day productivity lever). It trades evaluation count for
+	// solution quality: a seed inherited from a tighter spec can leave a
+	// relaxed stage over-designed under a short retarget schedule, so the
+	// power-comparison studies default to independent cold syntheses and
+	// the retargeting benchmark exercises this flag explicitly.
+	Retarget bool
+	// IncludeSHA also synthesizes the front-end sample-and-hold
+	// amplifier. Its power is identical across candidates (the paper
+	// excludes it from the comparison figures for that reason) and is
+	// reported separately on the Study.
+	IncludeSHA bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.VRef == 0 {
+		o.VRef = 1.0
+	}
+	if o.Process == nil {
+		o.Process = pdk.TSMC025()
+	}
+	if o.SampleRate == 0 {
+		o.SampleRate = 40e6
+	}
+}
+
+// StageResult is the costed outcome of one pipeline stage in a candidate.
+type StageResult struct {
+	Stage, Bits int
+	MDACPower   float64
+	SubADCPower float64
+	Total       float64
+	Feasible    bool
+	Sizing      opamp.Amp
+	Metrics     hybrid.Metrics
+}
+
+// CandidateResult is one enumerated configuration fully costed.
+type CandidateResult struct {
+	Config      enum.Config
+	Stages      []StageResult
+	TotalPower  float64 // sum over the leading stages (the paper's Fig. 2 metric)
+	AllFeasible bool
+}
+
+// DesignPoint identifies one exact MDAC design point: stage position, raw
+// resolution, and the resolution already in hand at its input. Two
+// candidates sharing all three fields see identical block specs, so one
+// synthesis serves both. (The paper counts reuse classes by stage and
+// resolution only — "eleven MDACs" for 13 bits; the exact points number
+// twenty, and Study reports both.)
+type DesignPoint struct {
+	Stage, Bits, PriorBits int
+}
+
+// MDACRecord tracks one synthesized MDAC design point.
+type MDACRecord struct {
+	Key      DesignPoint
+	Result   *synth.Result
+	WarmFrom *DesignPoint // nil = cold start
+}
+
+// Study is a completed topology optimization for one target resolution.
+type Study struct {
+	Bits       int
+	SampleRate float64
+	Candidates []CandidateResult // sorted ascending by TotalPower
+	Best       CandidateResult
+	MDACs      []MDACRecord
+	// PaperMDACClasses is the paper's reuse count: distinct
+	// (stage, resolution) pairs across the candidates (11 for 13 bits).
+	PaperMDACClasses int
+	TotalEvals       int
+	// SHA is the synthesized front-end sample-and-hold (nil unless
+	// Options.IncludeSHA); its power adds to every candidate equally.
+	SHA *synth.Result
+}
+
+// FullPower returns a candidate's leading-stage power plus the shared
+// front-end S/H power when one was synthesized.
+func (st *Study) FullPower(c CandidateResult) float64 {
+	p := c.TotalPower
+	if st.SHA != nil {
+		p += st.SHA.Metrics.Power
+	}
+	return p
+}
+
+// Optimize runs the full designer-driven flow for one target resolution.
+func Optimize(opts Options) (*Study, error) {
+	opts.fillDefaults()
+	adc := stagespec.ADCSpec{
+		Bits: opts.Bits, SampleRate: opts.SampleRate,
+		VRef: opts.VRef, Process: opts.Process,
+	}
+	cands, err := enum.Candidates(opts.Bits, opts.Constraints)
+	if err != nil {
+		return nil, err
+	}
+
+	// Translate every candidate and index the exact design points. Two
+	// candidates share a synthesis only when stage position, resolution
+	// AND prior resolution coincide, because all three shape the block
+	// spec (settling tolerance, capacitor budget, load).
+	specsByCand := make([][]stagespec.MDACSpec, len(cands))
+	specOf := map[DesignPoint]stagespec.MDACSpec{}
+	for i, cfg := range cands {
+		specs, err := stagespec.Translate(adc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", cfg, err)
+		}
+		specsByCand[i] = specs
+		for _, sp := range specs {
+			specOf[DesignPoint{Stage: sp.Stage, Bits: sp.Bits, PriorBits: sp.PriorBits}] = sp
+		}
+	}
+
+	// Synthesize each design point once, optionally chaining warm starts:
+	// first the same resolution one stage earlier, then the previous
+	// resolution at the same stage.
+	keys := make([]DesignPoint, 0, len(specOf))
+	for k := range specOf {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Bits != b.Bits {
+			return a.Bits < b.Bits
+		}
+		return a.PriorBits < b.PriorBits
+	})
+	study := &Study{
+		Bits: opts.Bits, SampleRate: opts.SampleRate,
+		PaperMDACClasses: len(enum.DistinctMDACs(cands)),
+	}
+	results := map[DesignPoint]*synth.Result{}
+	warmCandidates := func(key DesignPoint) []DesignPoint {
+		var out []DesignPoint
+		for prev := range results {
+			if prev.Stage == key.Stage-1 && prev.Bits == key.Bits {
+				out = append(out, prev)
+			}
+		}
+		for prev := range results {
+			if prev.Stage == key.Stage && prev.Bits == key.Bits-1 {
+				out = append(out, prev)
+			}
+		}
+		return out
+	}
+	for i, key := range keys {
+		sOpts := opts.Synth
+		sOpts.Mode = opts.Mode
+		sOpts.Seed = opts.Synth.Seed + int64(i+1)
+		var warmKey *DesignPoint
+		if opts.Retarget {
+			for _, try := range warmCandidates(key) {
+				if prev := results[try]; prev != nil && prev.Feasible {
+					sOpts.WarmStart = prev.Sizing
+					k := try
+					warmKey = &k
+					break
+				}
+			}
+		}
+		res, err := synth.Synthesize(specOf[key], opts.Process, sOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
+		}
+		results[key] = res
+		study.TotalEvals += res.Evals
+		study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: res, WarmFrom: warmKey})
+	}
+
+	// Cost every candidate from the shared design-point results.
+	for i, cfg := range cands {
+		cr := CandidateResult{Config: cfg, AllFeasible: true}
+		for _, sp := range specsByCand[i] {
+			key := DesignPoint{Stage: sp.Stage, Bits: sp.Bits, PriorBits: sp.PriorBits}
+			res := results[key]
+			bank, err := subadc.Design(sp, opts.Process, opts.SampleRate)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s stage %d sub-ADC: %w", cfg, sp.Stage, err)
+			}
+			sr := StageResult{
+				Stage: sp.Stage, Bits: sp.Bits,
+				MDACPower:   res.Metrics.Power,
+				SubADCPower: bank.TotalPower,
+				Total:       res.Metrics.Power + bank.TotalPower,
+				Feasible:    res.Feasible,
+				Sizing:      res.Sizing,
+				Metrics:     res.Metrics,
+			}
+			cr.Stages = append(cr.Stages, sr)
+			cr.TotalPower += sr.Total
+			cr.AllFeasible = cr.AllFeasible && sr.Feasible
+		}
+		study.Candidates = append(study.Candidates, cr)
+	}
+	sort.Slice(study.Candidates, func(i, j int) bool {
+		a, b := study.Candidates[i], study.Candidates[j]
+		// Fully feasible candidates outrank partially infeasible ones.
+		if a.AllFeasible != b.AllFeasible {
+			return a.AllFeasible
+		}
+		return a.TotalPower < b.TotalPower
+	})
+	study.Best = study.Candidates[0]
+
+	if opts.IncludeSHA {
+		// The stage-1 sampling capacitor is position-budgeted, hence
+		// identical across candidates; any candidate's first stage works
+		// as the S/H load.
+		sOpts := opts.Synth
+		sOpts.Mode = opts.Mode
+		sOpts.Seed = opts.Synth.Seed + 7919
+		res, err := sha.Synthesize(adc, specsByCand[0][0].CSample, opts.Process, sOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: S/H synthesis: %w", err)
+		}
+		study.SHA = res
+		study.TotalEvals += res.Evals
+	}
+	return study, nil
+}
+
+// Sweep runs studies across target resolutions (the paper's 10–13 bit
+// exploration, Fig. 2).
+func Sweep(bits []int, base Options) ([]*Study, error) {
+	out := make([]*Study, 0, len(bits))
+	for _, k := range bits {
+		o := base
+		o.Bits = k
+		st, err := Optimize(o)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d-bit study: %w", k, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Rule is one row of the Fig. 3 decision table.
+type Rule struct {
+	Bits      int
+	Best      enum.Config
+	FirstBits int
+	LastBits  int
+}
+
+// DeriveRules summarizes a sweep into the paper's optimum-candidate rules.
+func DeriveRules(studies []*Study) []Rule {
+	rules := make([]Rule, 0, len(studies))
+	for _, st := range studies {
+		cfg := st.Best.Config
+		rules = append(rules, Rule{
+			Bits:      st.Bits,
+			Best:      cfg,
+			FirstBits: cfg[0],
+			LastBits:  cfg[len(cfg)-1],
+		})
+	}
+	return rules
+}
+
+// BehavioralCheck closes the loop: it builds a behavioral converter from
+// the study's best configuration, injects the synthesized static error and
+// the kT/C noise implied by the stage capacitors, runs a coherent sine
+// test, and reports the ENOB. A sound synthesis should land within a
+// fraction of a bit of the target.
+func BehavioralCheck(study *Study, opts Options, n int) (dsp.SpectralMetrics, error) {
+	opts.fillDefaults()
+	full, err := study.Best.Config.WithTail(study.Bits)
+	if err != nil {
+		return dsp.SpectralMetrics{}, err
+	}
+	conv, err := adcsim.New(full, opts.VRef, 1234)
+	if err != nil {
+		return dsp.SpectralMetrics{}, err
+	}
+	adc := stagespec.ADCSpec{Bits: study.Bits, SampleRate: study.SampleRate, VRef: opts.VRef, Process: opts.Process}
+	specs, err := stagespec.Translate(adc, study.Best.Config)
+	if err != nil {
+		return dsp.SpectralMetrics{}, err
+	}
+	for i, sr := range study.Best.Stages {
+		m := conv.Stages[i]
+		m.GainError = -sr.Metrics.StaticError // loop-gain shortfall compresses the residue
+		m.NoiseRMS = math.Sqrt(opts.Process.KTOverC(specs[i].CSample))
+		if err := conv.SetStage(i, m); err != nil {
+			return dsp.SpectralMetrics{}, err
+		}
+	}
+	fSig, _ := dsp.CoherentBin(study.SampleRate, study.SampleRate/17, n)
+	samples := conv.SineTest(study.SampleRate, fSig, n, 0.95)
+	return dsp.SineTestMetrics(samples, study.SampleRate)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/synth"
+)
+
+// eqOpts runs the full flow with equation-mode evaluation: structurally
+// identical to the hybrid flow, fast enough to exercise every candidate in
+// unit tests.
+func eqOpts(bits int) Options {
+	return Options{
+		Bits:       bits,
+		SampleRate: 40e6,
+		Mode:       hybrid.EquationOnly,
+		Synth:      synth.Options{Seed: 1, MaxEvals: 60, PatternIter: 40},
+	}
+}
+
+func TestOptimize13BitEquationMode(t *testing.T) {
+	st, err := Optimize(eqOpts(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Candidates) != 7 {
+		t.Fatalf("%d candidates, want 7", len(st.Candidates))
+	}
+	if st.PaperMDACClasses != 11 {
+		t.Fatalf("%d MDAC reuse classes, want the paper's 11", st.PaperMDACClasses)
+	}
+	if len(st.MDACs) != 20 {
+		t.Fatalf("%d exact design points, want 20", len(st.MDACs))
+	}
+	// Candidates sorted ascending by power within feasibility class.
+	for i := 1; i < len(st.Candidates); i++ {
+		a, b := st.Candidates[i-1], st.Candidates[i]
+		if a.AllFeasible == b.AllFeasible && a.TotalPower > b.TotalPower {
+			t.Fatal("candidates not sorted")
+		}
+	}
+	if st.Best.TotalPower <= 0 {
+		t.Fatal("best candidate has no power")
+	}
+	if st.TotalEvals == 0 {
+		t.Fatal("no synthesis work recorded")
+	}
+	// Every candidate sums its stage powers.
+	for _, c := range st.Candidates {
+		sum := 0.0
+		for _, s := range c.Stages {
+			sum += s.Total
+		}
+		if diff := sum - c.TotalPower; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("%s: power sum mismatch", c.Config)
+		}
+	}
+}
+
+func TestWarmStartChainsAcrossMDACs(t *testing.T) {
+	opts := eqOpts(13)
+	opts.Retarget = true
+	st, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for _, rec := range st.MDACs {
+		if rec.WarmFrom != nil {
+			warm++
+		}
+	}
+	// With 11 MDACs and chaining both across stages and resolutions, the
+	// majority should be retargets, as in the paper.
+	if warm < 6 {
+		t.Fatalf("only %d of %d MDACs were retargeted", warm, len(st.MDACs))
+	}
+}
+
+func TestSweepAndRules(t *testing.T) {
+	studies, err := Sweep([]int{10, 11}, eqOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(studies) != 2 || studies[0].Bits != 10 || studies[1].Bits != 11 {
+		t.Fatalf("sweep shape wrong")
+	}
+	rules := DeriveRules(studies)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	for _, r := range rules {
+		if r.FirstBits != r.Best[0] || r.LastBits != r.Best[len(r.Best)-1] {
+			t.Fatalf("rule fields inconsistent: %+v", r)
+		}
+		if !r.Best.Valid(4) {
+			t.Fatalf("best config invalid: %v", r.Best)
+		}
+	}
+}
+
+func TestOptimizeHybridSmoke(t *testing.T) {
+	// One small hybrid-mode study on a modest converter proves the full
+	// simulate-extract-synthesize loop end to end.
+	if testing.Short() {
+		t.Skip("hybrid study is seconds-long")
+	}
+	opts := Options{
+		Bits:        8,
+		SampleRate:  40e6,
+		Mode:        hybrid.Hybrid,
+		Constraints: enum.Constraints{LeadingBits: 5},
+		Synth:       synth.Options{Seed: 2, MaxEvals: 25, PatternIter: 15},
+	}
+	st, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Best.TotalPower <= 0 {
+		t.Fatal("no power result")
+	}
+	for _, rec := range st.MDACs {
+		if rec.Result.Metrics.Power <= 0 {
+			t.Fatalf("MDAC %+v has no power", rec.Key)
+		}
+	}
+}
+
+func TestBehavioralCheck(t *testing.T) {
+	opts := eqOpts(10)
+	st, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BehavioralCheck(st, opts, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A synthesized 10-bit converter should deliver most of its bits; the
+	// equation-mode static errors are optimistic, so allow a wide floor.
+	if m.ENOB < 7.5 || m.ENOB > 10.2 {
+		t.Fatalf("behavioral ENOB = %.2f, outside plausible band", m.ENOB)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	bad := eqOpts(2)
+	if _, err := Optimize(bad); err == nil {
+		t.Fatal("expected enumeration/translation error")
+	}
+}
+
+func TestOptimizeWithSHA(t *testing.T) {
+	opts := eqOpts(10)
+	opts.IncludeSHA = true
+	st, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SHA == nil || st.SHA.Metrics.Power <= 0 {
+		t.Fatal("S/H missing from study")
+	}
+	full := st.FullPower(st.Best)
+	if full <= st.Best.TotalPower {
+		t.Fatal("full power must include the S/H")
+	}
+	// Without the flag, FullPower equals the leading-stage power.
+	st2, err := Optimize(eqOpts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FullPower(st2.Best) != st2.Best.TotalPower {
+		t.Fatal("FullPower without SHA should be unchanged")
+	}
+}

@@ -1,0 +1,77 @@
+package dpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pipesyn/internal/expr"
+)
+
+// Sensitivity is one parameter's normalized influence on a transfer
+// function at a given frequency: S_p = (p/H)·∂H/∂p, the classical Bode
+// sensitivity. |S| ≈ 0 marks a parameter the optimizer can ignore;
+// |S| ≈ 1 marks one that moves the response one-for-one. The paper's §3
+// uses exactly this kind of DPI/SFG-derived insight to "reduce the range
+// of the design variables that define the design space".
+type Sensitivity struct {
+	Param string
+	S     complex128
+}
+
+// Mag returns |S|.
+func (s Sensitivity) Mag() float64 {
+	return math.Hypot(real(s.S), imag(s.S))
+}
+
+// Sensitivities evaluates the normalized sensitivity of the symbolic
+// transfer function tf to every bound parameter at s = jω, sorted by
+// descending magnitude. The Laplace variable itself is skipped.
+func Sensitivities(tf expr.Expr, env map[string]float64, omega float64) ([]Sensitivity, error) {
+	cenv := make(map[string]complex128, len(env)+1)
+	for k, v := range env {
+		cenv[k] = complex(v, 0)
+	}
+	cenv["s"] = complex(0, omega)
+	h, err := tf.EvalC(cenv)
+	if err != nil {
+		return nil, err
+	}
+	if h == 0 {
+		return nil, fmt.Errorf("dpi: transfer function is zero at ω=%g; sensitivity undefined", omega)
+	}
+	var out []Sensitivity
+	for _, p := range tf.Vars() {
+		if p == "s" {
+			continue
+		}
+		pv, ok := env[p]
+		if !ok {
+			return nil, fmt.Errorf("dpi: unbound parameter %q", p)
+		}
+		d := tf.Diff(p)
+		dv, err := d.EvalC(cenv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sensitivity{Param: p, S: complex(pv, 0) * dv / h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mag() > out[j].Mag() })
+	return out, nil
+}
+
+// DominantParams returns the parameters whose sensitivity magnitude is at
+// least frac of the largest one — the short list a designer would sweep.
+func DominantParams(sens []Sensitivity, frac float64) []string {
+	if len(sens) == 0 {
+		return nil
+	}
+	floor := sens[0].Mag() * frac
+	var out []string
+	for _, s := range sens {
+		if s.Mag() >= floor {
+			out = append(out, s.Param)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package dpi
+
+import (
+	"math"
+	"testing"
+
+	"pipesyn/internal/sim"
+)
+
+func TestSensitivityRCLowpass(t *testing.T) {
+	c := parse(t, `* rc
+V1 in 0 AC 1
+R1 in out 10k
+C1 out 0 1p
+`)
+	a, err := Build(c, Options{IncludeCaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := a.TransferFunction("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := sim.OP(c, sim.DCOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Env(c, op, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At DC the gain is exactly 1 regardless of R or C: sensitivities ≈ 0.
+	sDC, err := Sensitivities(tf, env, 1) // ≈ DC
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sDC {
+		if s.Mag() > 1e-6 {
+			t.Fatalf("DC sensitivity to %s = %g, want ≈0", s.Param, s.Mag())
+		}
+	}
+	// At the pole frequency H depends on the ratio g/(sC): the two
+	// sensitivities are equal in magnitude (1/√2) and opposite in sign.
+	wp := 1.0 / (10e3 * 1e-12)
+	sp, err := Sensitivities(tf, env, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Sensitivity{}
+	for _, s := range sp {
+		byName[s.Param] = s
+	}
+	sg, sc := byName["g_r1"], byName["c_c1"]
+	if math.Abs(sg.Mag()-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("|S_g| = %g, want 1/√2", sg.Mag())
+	}
+	sum := sg.S + sc.S
+	if math.Hypot(real(sum), imag(sum)) > 1e-9 {
+		t.Fatalf("S_g + S_c = %v, want 0 (ratio dependence)", sum)
+	}
+}
+
+func TestSensitivityRanksGmFirst(t *testing.T) {
+	// Common-source amplifier in-band: gain ≈ −gm·(RD∥ro); gm and the
+	// load dominate, junction capacitances are negligible at DC.
+	deck := `* cs amp
+V1 vdd 0 DC 3.3
+VG in 0 DC 0.9 AC 1
+RD vdd d 2k
+M1 d in 0 0 nch W=20u L=0.5u
+.model nch nmos (vto=0.45 kp=180u lambda=0.05 gamma=0)
+`
+	c := parse(t, deck)
+	op, err := sim.OP(c, sim.DCOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(c, Options{IncludeCaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := a.TransferFunction("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Env(c, op, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := Sensitivities(tf, env, 2*math.Pi*1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens[0].Param != "gm_m1" {
+		t.Fatalf("top sensitivity = %s, want gm_m1 (%v)", sens[0].Param, sens[:3])
+	}
+	dom := DominantParams(sens, 0.5)
+	// gm and the resistive load define the in-band gain; capacitors must
+	// not make the 50 % cut at 1 kHz.
+	for _, p := range dom {
+		if p[0] == 'c' {
+			t.Fatalf("capacitance %s should be negligible in-band: %v", p, dom)
+		}
+	}
+}
+
+// Property: sensitivities agree with a central finite difference on the
+// magnitude response.
+func TestSensitivityMatchesFiniteDifference(t *testing.T) {
+	c := parse(t, `* two-pole
+VIN in 0 AC 1
+R1 in a 1k
+C1 a 0 2p
+R2 a out 5k
+C2 out 0 1p
+`)
+	op, err := sim.OP(c, sim.DCOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(c, Options{IncludeCaps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := a.TransferFunction("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Env(c, op, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := 2 * math.Pi * 50e6
+	sens, err := Sensitivities(tf, env, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalH := func(e map[string]float64) complex128 {
+		ce := map[string]complex128{"s": complex(0, omega)}
+		for k, v := range e {
+			ce[k] = complex(v, 0)
+		}
+		v, err := tf.EvalC(ce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	h0 := evalH(env)
+	for _, s := range sens {
+		p := s.Param
+		rel := 1e-6
+		up := map[string]float64{}
+		dn := map[string]float64{}
+		for k, v := range env {
+			up[k], dn[k] = v, v
+		}
+		up[p] = env[p] * (1 + rel)
+		dn[p] = env[p] * (1 - rel)
+		num := (evalH(up) - evalH(dn)) / complex(2*rel, 0) / h0
+		diff := num - s.S
+		if math.Hypot(real(diff), imag(diff)) > 1e-4*(1+s.Mag()) {
+			t.Fatalf("sensitivity mismatch for %s: symbolic %v vs numeric %v", p, s.S, num)
+		}
+	}
+}
+
+func TestSensitivityErrors(t *testing.T) {
+	c := parse(t, "VIN in 0 AC 1\nR1 in out 1k\nR2 out 0 1k\n")
+	a, _ := Build(c, Options{})
+	tf, _ := a.TransferFunction("out")
+	if _, err := Sensitivities(tf, map[string]float64{}, 1); err == nil {
+		t.Fatal("expected unbound-parameter error")
+	}
+	if got := DominantParams(nil, 0.5); got != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}

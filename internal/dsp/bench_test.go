@@ -1,0 +1,37 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSineTestMetrics4096(b *testing.B) {
+	n := 4096
+	fs := 40e6
+	fSig, _ := CoherentBin(fs, 2.3e6, n)
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = 0.5 + 0.5*math.Sin(2*math.Pi*fSig*float64(i)/fs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SineTestMetrics(samples, fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpectralMetrics summarizes converter performance from a sine-wave test.
+type SpectralMetrics struct {
+	SignalBin  int
+	SignalPow  float64
+	SNDRdB     float64 // signal / (noise + distortion)
+	SFDRdB     float64 // signal / largest spur
+	THDdB      float64 // harmonics (2..5) / signal
+	ENOB       float64 // (SNDR − 1.76)/6.02
+	NoiseFloor float64 // mean non-signal bin power
+}
+
+// Analyze extracts converter metrics from a one-sided power spectrum
+// produced by a coherent sine test. skirt widens the signal bin exclusion
+// (use 0 for coherent sampling, ≥2 with windows).
+func (s *Spectrum) Analyze(skirt int) (SpectralMetrics, error) {
+	if len(s.Power) < 8 {
+		return SpectralMetrics{}, fmt.Errorf("dsp: spectrum too short (%d bins)", len(s.Power))
+	}
+	// Locate the signal: the largest bin excluding DC (and its skirt).
+	sig := 1 + skirt
+	for k := 1 + skirt; k < len(s.Power); k++ {
+		if s.Power[k] > s.Power[sig] {
+			sig = k
+		}
+	}
+	signalPow := 0.0
+	inSignal := func(k int) bool { return k >= sig-skirt && k <= sig+skirt }
+	inDC := func(k int) bool { return k <= skirt }
+	for k := range s.Power {
+		if inSignal(k) {
+			signalPow += s.Power[k]
+		}
+	}
+	if signalPow <= 0 {
+		return SpectralMetrics{}, fmt.Errorf("dsp: no signal found")
+	}
+	noiseDist := 0.0
+	count := 0
+	maxSpur := 0.0
+	for k := range s.Power {
+		if inSignal(k) || inDC(k) {
+			continue
+		}
+		noiseDist += s.Power[k]
+		count++
+		if s.Power[k] > maxSpur {
+			maxSpur = s.Power[k]
+		}
+	}
+	// Harmonics 2..5 with aliasing folded back into [0, N/2].
+	thd := 0.0
+	n := s.N
+	for h := 2; h <= 5; h++ {
+		bin := (sig * h) % n
+		if bin > n/2 {
+			bin = n - bin
+		}
+		if bin >= 0 && bin < len(s.Power) && !inSignal(bin) && !inDC(bin) {
+			thd += s.Power[bin]
+		}
+	}
+	m := SpectralMetrics{SignalBin: sig, SignalPow: signalPow}
+	if noiseDist <= 0 {
+		noiseDist = 1e-300
+	}
+	m.SNDRdB = 10 * math.Log10(signalPow/noiseDist)
+	if maxSpur <= 0 {
+		maxSpur = 1e-300
+	}
+	m.SFDRdB = 10 * math.Log10(signalPow/maxSpur)
+	if thd <= 0 {
+		thd = 1e-300
+	}
+	m.THDdB = 10 * math.Log10(thd/signalPow)
+	m.ENOB = (m.SNDRdB - 1.76) / 6.02
+	if count > 0 {
+		m.NoiseFloor = noiseDist / float64(count)
+	}
+	return m, nil
+}
+
+// SineTestMetrics is the one-call path from a sampled sine to metrics,
+// assuming coherent sampling (rectangular window, no skirt).
+func SineTestMetrics(samples []float64, fs float64) (SpectralMetrics, error) {
+	sp, err := PowerSpectrum(samples, fs, Rectangular)
+	if err != nil {
+		return SpectralMetrics{}, err
+	}
+	return sp.Analyze(0)
+}
+
+// INLDNL computes integral and differential nonlinearity (in LSB) from a
+// ramp histogram: counts[c] is how many samples landed in code c for a
+// uniform full-scale ramp input. Codes with zero expected count are
+// skipped. The first and last code are excluded, as is conventional.
+func INLDNL(counts []int) (inl, dnl []float64, err error) {
+	n := len(counts)
+	if n < 4 {
+		return nil, nil, fmt.Errorf("dsp: need ≥4 codes, got %d", n)
+	}
+	total := 0
+	for _, c := range counts[1 : n-1] {
+		total += c
+	}
+	if total == 0 {
+		return nil, nil, fmt.Errorf("dsp: empty histogram")
+	}
+	ideal := float64(total) / float64(n-2)
+	dnl = make([]float64, n)
+	inl = make([]float64, n)
+	acc := 0.0
+	for c := 1; c < n-1; c++ {
+		dnl[c] = float64(counts[c])/ideal - 1
+		acc += dnl[c]
+		inl[c] = acc
+	}
+	return inl, dnl, nil
+}
+
+// PeakAbs returns the maximum |v| over a slice, for INL/DNL summaries.
+func PeakAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

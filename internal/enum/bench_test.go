@@ -1,0 +1,11 @@
+package enum
+
+import "testing"
+
+func BenchmarkCandidates13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Candidates(13, Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package enum implements the paper's candidate enumeration (§2): the set
+// of stage-resolution configurations {m₁ m₂ …} considered for a K-bit
+// pipelined ADC.
+//
+// Bookkeeping convention (reverse-engineered to match the paper's data
+// exactly): mᵢ is the raw sub-ADC resolution of stage i including the one
+// redundancy bit used by digital correction, so the inter-stage gain is
+// 2^(mᵢ−1) and the cumulative output resolution after stage j is
+//
+//	R_j = m₁ + Σ_{i=2..j} (mᵢ − 1).
+//
+// The paper's constraints are mᵢ ≤ 4 (closed-loop bandwidth), mᵢ ≥ 2,
+// mᵢ ≥ mᵢ₊₁ (area), and only the leading stages up to R = 7 bits are
+// enumerated, because ADC power is dominated by the first few bits; the
+// tail of every candidate continues with identical 2-bit (1-effective-bit)
+// stages. Under these rules a 13-bit converter has exactly the seven
+// candidates of Fig. 1: 2-2-2-2-2-2, 3-2-2-2-2, 3-3-2-2, 3-3-3, 4-2-2-2,
+// 4-3-2, 4-4.
+package enum
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Config is one stage-resolution candidate: the raw bits per leading stage.
+type Config []int
+
+// String renders a config the way the paper writes it: "4-3-2".
+func (c Config) String() string {
+	parts := make([]string, len(c))
+	for i, m := range c {
+		parts[i] = strconv.Itoa(m)
+	}
+	return strings.Join(parts, "-")
+}
+
+// Resolution returns the cumulative output resolution R_j after the last
+// listed stage: m₁ + Σ(mᵢ−1).
+func (c Config) Resolution() int {
+	if len(c) == 0 {
+		return 0
+	}
+	r := c[0]
+	for _, m := range c[1:] {
+		r += m - 1
+	}
+	return r
+}
+
+// ResolutionAfter returns R_j after stage j (1-based); j=0 returns 0.
+func (c Config) ResolutionAfter(j int) int {
+	if j <= 0 {
+		return 0
+	}
+	if j > len(c) {
+		j = len(c)
+	}
+	return Config(c[:j]).Resolution()
+}
+
+// Gain returns the inter-stage residue gain of stage i (0-based): 2^(mᵢ−1).
+func (c Config) Gain(i int) int { return 1 << (c[i] - 1) }
+
+// Valid reports whether the config satisfies the paper's constraints.
+func (c Config) Valid(maxBits int) bool {
+	if len(c) == 0 {
+		return false
+	}
+	for i, m := range c {
+		if m < 2 || m > maxBits {
+			return false
+		}
+		if i > 0 && m > c[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithTail extends the leading-stage config with 2-bit stages until the
+// cumulative resolution reaches K, producing the full pipeline the
+// candidate denotes (the "…" in "4-3-2…").
+func (c Config) WithTail(k int) (Config, error) {
+	r := c.Resolution()
+	if r > k {
+		return nil, fmt.Errorf("enum: config %s already exceeds %d bits", c, k)
+	}
+	full := append(Config(nil), c...)
+	for r < k {
+		full = append(full, 2)
+		r++
+	}
+	return full, nil
+}
+
+// Constraints parameterizes the enumeration; the zero value plus
+// FillDefaults reproduces the paper's setup.
+type Constraints struct {
+	MaxStageBits int // mᵢ ≤ this (paper: 4)
+	MinStageBits int // mᵢ ≥ this (paper: 2)
+	LeadingBits  int // enumerate leading stages with R = this (paper: 7)
+	NonIncrease  bool
+}
+
+// FillDefaults applies the paper's constraint set to zero fields.
+func (cs *Constraints) FillDefaults() {
+	if cs.MaxStageBits == 0 {
+		cs.MaxStageBits = 4
+	}
+	if cs.MinStageBits == 0 {
+		cs.MinStageBits = 2
+	}
+	if cs.LeadingBits == 0 {
+		cs.LeadingBits = 7
+	}
+}
+
+// Candidates enumerates every leading-stage configuration for a K-bit
+// converter under the given constraints. The result is ordered
+// lexicographically ascending (2-2-… first, 4-4 last) for reproducibility.
+func Candidates(k int, cs Constraints) ([]Config, error) {
+	cs.FillDefaults()
+	if !cs.NonIncrease {
+		cs.NonIncrease = true // the paper's area constraint is always on
+	}
+	if k < cs.LeadingBits {
+		// Short converters enumerate to K directly.
+		cs.LeadingBits = k
+	}
+	if k < cs.MinStageBits {
+		return nil, fmt.Errorf("enum: %d-bit target below minimum stage resolution", k)
+	}
+	var out []Config
+	var walk func(prefix Config, r int)
+	walk = func(prefix Config, r int) {
+		if r == cs.LeadingBits {
+			cand := append(Config(nil), prefix...)
+			out = append(out, cand)
+			return
+		}
+		hi := cs.MaxStageBits
+		if len(prefix) > 0 && prefix[len(prefix)-1] < hi {
+			hi = prefix[len(prefix)-1]
+		}
+		for m := cs.MinStageBits; m <= hi; m++ {
+			var add int
+			if len(prefix) == 0 {
+				add = m
+			} else {
+				add = m - 1
+			}
+			if r+add > cs.LeadingBits {
+				continue
+			}
+			walk(append(prefix, m), r+add)
+		}
+	}
+	walk(nil, 0)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("enum: no feasible configuration for K=%d under %+v", k, cs)
+	}
+	return out, nil
+}
+
+// StageSpecKey identifies a distinct MDAC design point: the stage position
+// in the pipeline together with its raw resolution. Stage position fixes
+// the accuracy and noise budget (how many bits remain downstream), the
+// resolution fixes the gain and capacitor array, so two stages sharing a
+// key can reuse one synthesized MDAC. Across the seven 13-bit candidates
+// there are exactly eleven distinct keys — the paper's "eleven MDACs".
+type StageSpecKey struct {
+	Stage int // 1-based pipeline position
+	Bits  int // mᵢ
+}
+
+// DistinctMDACs returns the set of distinct MDAC design points across the
+// given candidates, in first-appearance order.
+func DistinctMDACs(configs []Config) []StageSpecKey {
+	seen := map[StageSpecKey]bool{}
+	var out []StageSpecKey
+	for _, c := range configs {
+		for i := range c {
+			key := StageSpecKey{Stage: i + 1, Bits: c[i]}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}

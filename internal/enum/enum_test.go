@@ -1,0 +1,189 @@
+package enum
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// The headline check: the enumeration reproduces the paper's seven 13-bit
+// candidates exactly.
+func TestThirteenBitCandidatesMatchPaper(t *testing.T) {
+	cands, err := Candidates(13, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(cands))
+	for i, c := range cands {
+		got[i] = c.String()
+	}
+	sort.Strings(got)
+	want := []string{
+		"2-2-2-2-2-2",
+		"3-2-2-2-2",
+		"3-3-2-2",
+		"3-3-3",
+		"4-2-2-2",
+		"4-3-2",
+		"4-4",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d candidates %v, want 7", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+// The paper synthesized eleven MDACs to cover all seven configurations.
+func TestElevenDistinctMDACs(t *testing.T) {
+	cands, err := Candidates(13, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := DistinctMDACs(cands)
+	if len(keys) != 11 {
+		t.Fatalf("distinct MDAC design points = %d, want 11: %v", len(keys), keys)
+	}
+}
+
+func TestResolutionArithmetic(t *testing.T) {
+	c := Config{4, 3, 2}
+	if r := c.Resolution(); r != 7 {
+		t.Fatalf("R(4-3-2) = %d, want 7", r)
+	}
+	if r := c.ResolutionAfter(1); r != 4 {
+		t.Fatalf("R after stage 1 = %d, want 4", r)
+	}
+	if r := c.ResolutionAfter(2); r != 6 {
+		t.Fatalf("R after stage 2 = %d, want 6", r)
+	}
+	if r := c.ResolutionAfter(0); r != 0 {
+		t.Fatalf("R after 0 stages = %d", r)
+	}
+	if r := c.ResolutionAfter(99); r != 7 {
+		t.Fatalf("R clamps to full config: %d", r)
+	}
+	if g := c.Gain(0); g != 8 {
+		t.Fatalf("gain(4b) = %d, want 8", g)
+	}
+	if g := c.Gain(2); g != 2 {
+		t.Fatalf("gain(2b) = %d, want 2", g)
+	}
+}
+
+func TestWithTail(t *testing.T) {
+	c := Config{4, 3, 2}
+	full, err := c.WithTail(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Resolution() != 13 {
+		t.Fatalf("tail completion = %s → %d bits", full, full.Resolution())
+	}
+	// 7 + 6 tail stages of 1 effective bit each.
+	if len(full) != 9 {
+		t.Fatalf("full pipeline %s has %d stages, want 9", full, len(full))
+	}
+	if _, err := c.WithTail(5); err == nil {
+		t.Fatal("expected over-resolution error")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !(Config{4, 3, 2}).Valid(4) {
+		t.Fatal("4-3-2 should be valid")
+	}
+	if (Config{3, 4}).Valid(4) {
+		t.Fatal("ascending config should be invalid")
+	}
+	if (Config{5, 2}).Valid(4) {
+		t.Fatal("over-max stage should be invalid")
+	}
+	if (Config{2, 1}).Valid(4) {
+		t.Fatal("1-bit stage should be invalid")
+	}
+	if (Config{}).Valid(4) {
+		t.Fatal("empty config should be invalid")
+	}
+}
+
+func TestCandidatesForSmallerADCs(t *testing.T) {
+	// Every K from 10..13 enumerates the same 7-bit leading set (the
+	// leading-bit cutoff is independent of K once K ≥ 7).
+	base, _ := Candidates(13, Constraints{})
+	for _, k := range []int{10, 11, 12} {
+		c, err := Candidates(k, Constraints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) != len(base) {
+			t.Fatalf("K=%d: %d candidates, want %d", k, len(c), len(base))
+		}
+	}
+	// A 5-bit converter enumerates to K=5 directly.
+	c, err := Candidates(5, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range c {
+		if cfg.Resolution() != 5 {
+			t.Fatalf("K=5 candidate %s has R=%d", cfg, cfg.Resolution())
+		}
+	}
+}
+
+func TestCandidatesErrors(t *testing.T) {
+	if _, err := Candidates(1, Constraints{}); err == nil {
+		t.Fatal("expected error for sub-minimum K")
+	}
+}
+
+// Properties: every enumerated candidate is valid, hits the leading-bit
+// target exactly, and the set contains no duplicates.
+func TestCandidateInvariantsProperty(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw)%10 + 4 // 4..13
+		cands, err := Candidates(k, Constraints{})
+		if err != nil {
+			return false
+		}
+		target := 7
+		if k < 7 {
+			target = k
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if !c.Valid(4) {
+				return false
+			}
+			if c.Resolution() != target {
+				return false
+			}
+			if seen[c.String()] {
+				return false
+			}
+			seen[c.String()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctMDACsStable(t *testing.T) {
+	cands, _ := Candidates(13, Constraints{})
+	a := DistinctMDACs(cands)
+	b := DistinctMDACs(cands)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order not stable")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package eqmodel is the pure equation-based ADC power model — the
+// methodology of Hershenson's geometric-programming pipeline synthesis
+// (paper reference [5]) reproduced as a baseline. Every stage's MDAC is
+// "sized" with the designer's closed-form two-stage OTA equations and
+// costed analytically, with no simulator in the loop; the flash sub-ADC
+// uses the same comparator equations as the hybrid flow. The paper's
+// argument is that this style is fast but trades away accuracy; the
+// comparison benchmarks quantify that on our stack.
+package eqmodel
+
+import (
+	"fmt"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/subadc"
+)
+
+// StagePower is the analytic power breakdown of one pipeline stage.
+type StagePower struct {
+	Stage  int
+	Bits   int
+	MDAC   float64 // residue amplifier static power, W
+	SubADC float64 // comparator bank power, W
+	Total  float64
+	Sizing opamp.MillerSizing // the equation sizing behind the number
+}
+
+// Evaluate costs a candidate configuration with equations only.
+func Evaluate(adc stagespec.ADCSpec, cfg enum.Config) ([]StagePower, error) {
+	specs, err := stagespec.Translate(adc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	adc.FillDefaults()
+	out := make([]StagePower, len(specs))
+	for i, sp := range specs {
+		sz := opamp.InitialSizing(adc.Process, opamp.BlockSpec{
+			GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad,
+			CFeed: sp.CFeed, Gain: sp.GainMin, Swing: sp.SwingMin,
+		})
+		eq := opamp.Analyze(adc.Process, sz, sp.CLoad+sp.CFeed)
+		bank, err := subadc.Design(sp, adc.Process, adc.SampleRate)
+		if err != nil {
+			return nil, fmt.Errorf("eqmodel: stage %d sub-ADC: %w", sp.Stage, err)
+		}
+		out[i] = StagePower{
+			Stage:  sp.Stage,
+			Bits:   sp.Bits,
+			MDAC:   eq.Power,
+			SubADC: bank.TotalPower,
+			Total:  eq.Power + bank.TotalPower,
+			Sizing: sz,
+		}
+	}
+	return out, nil
+}
+
+// TotalPower sums the leading-stage powers of a candidate.
+func TotalPower(stages []StagePower) float64 {
+	t := 0.0
+	for _, s := range stages {
+		t += s.Total
+	}
+	return t
+}
+
+// Rank evaluates every candidate for a K-bit converter and returns them
+// ordered by ascending total power — the equation-based answer to the
+// paper's topology question.
+type Ranked struct {
+	Config enum.Config
+	Stages []StagePower
+	Total  float64
+}
+
+// Rank orders all enumeration candidates by analytic power.
+func Rank(adc stagespec.ADCSpec, cs enum.Constraints) ([]Ranked, error) {
+	cands, err := enum.Candidates(adc.Bits, cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, 0, len(cands))
+	for _, cfg := range cands {
+		st, err := Evaluate(adc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ranked{Config: cfg, Stages: st, Total: TotalPower(st)})
+	}
+	// Insertion sort by total power (n is tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Total < out[j-1].Total; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package eqmodel
+
+import (
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/stagespec"
+)
+
+func adc(bits int) stagespec.ADCSpec {
+	return stagespec.ADCSpec{Bits: bits, SampleRate: 40e6, VRef: 1}
+}
+
+func TestEvaluate432(t *testing.T) {
+	stages, err := Evaluate(adc(13), enum.Config{4, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages", len(stages))
+	}
+	for _, s := range stages {
+		if s.MDAC <= 0 || s.SubADC <= 0 {
+			t.Fatalf("stage %d: non-positive power %+v", s.Stage, s)
+		}
+		if s.Total != s.MDAC+s.SubADC {
+			t.Fatalf("stage %d: total mismatch", s.Stage)
+		}
+	}
+	// First stage dominates the budget (tightest settling + biggest cap).
+	if stages[0].MDAC < stages[2].MDAC {
+		t.Fatalf("stage-1 MDAC %g should exceed stage-3 %g", stages[0].MDAC, stages[2].MDAC)
+	}
+	total := TotalPower(stages)
+	// Plausible envelope for a 13-bit 40 MSPS 0.25 µm pipeline front end:
+	// milliwatts to tens of milliwatts.
+	if total < 1e-3 || total > 200e-3 {
+		t.Fatalf("total = %g W, outside plausible envelope", total)
+	}
+}
+
+func TestRankCoversAllCandidates(t *testing.T) {
+	ranked, err := Rank(adc(13), enum.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 7 {
+		t.Fatalf("ranked %d candidates, want 7", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Total < ranked[i-1].Total {
+			t.Fatal("not sorted ascending")
+		}
+	}
+}
+
+// The equation model must reproduce the qualitative Fig. 1 observation:
+// first-stage MDAC power is within a small factor across first-stage
+// resolutions (2, 3, 4 bits), because accuracy and noise — not raw stage
+// resolution — set the cost of the first stage.
+func TestFirstStagePowerWeaklyDependsOnResolution(t *testing.T) {
+	var p [3]float64
+	for i, cfg := range []enum.Config{{2, 2, 2, 2, 2, 2}, {3, 3, 3}, {4, 4}} {
+		st, err := Evaluate(adc(13), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p[i] = st[0].MDAC
+	}
+	hi, lo := p[0], p[0]
+	for _, v := range p[1:] {
+		if v > hi {
+			hi = v
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	if hi/lo > 3 {
+		t.Fatalf("first-stage power spread too wide: %v", p)
+	}
+}
+
+// Later stages must get cheaper — the paper's premise for truncating the
+// enumeration at 7 bits of leading resolution.
+func TestStagePowerDecays(t *testing.T) {
+	st, err := Evaluate(adc(13), enum.Config{2, 2, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[len(st)-1].Total > st[0].Total/2 {
+		t.Fatalf("last stage %g not well below first %g", st[len(st)-1].Total, st[0].Total)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(adc(13), enum.Config{}); err == nil {
+		t.Fatal("expected invalid-config error")
+	}
+	if _, err := Evaluate(stagespec.ADCSpec{Bits: 13}, enum.Config{4, 3, 2}); err == nil {
+		t.Fatal("expected sample-rate error")
+	}
+	if _, err := Rank(stagespec.ADCSpec{Bits: 1, SampleRate: 1}, enum.Constraints{}); err == nil {
+		t.Fatal("expected enumeration error")
+	}
+}

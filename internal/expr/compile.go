@@ -1,0 +1,166 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Program is a compiled expression: a flattened postfix instruction list
+// with variables resolved to slice indices, so evaluation is a tight
+// stack-machine loop with no string hashing and no tree recursion. Mason
+// transfer functions are evaluated at hundreds of frequency points per
+// synthesis candidate, and the compiled form is several times faster than
+// walking the Expr tree.
+type Program struct {
+	code     []instr
+	vars     []string
+	maxStack int
+}
+
+type opcode uint8
+
+const (
+	opConst opcode = iota
+	opVar
+	opAdd // pops n, pushes sum
+	opMul // pops n, pushes product
+	opPow // pops 1, pushes power
+)
+
+type instr struct {
+	op  opcode
+	n   int32 // operand count (opAdd/opMul) or exponent (opPow)
+	idx int32 // variable slot (opVar)
+	val complex128
+}
+
+// Compile resolves every variable in e against its own sorted variable
+// set and returns the program plus the variable order expected by EvalC.
+func (e Expr) Compile() (*Program, []string, error) {
+	vars := e.Vars()
+	index := make(map[string]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	p := &Program{vars: vars}
+	depth, err := p.emit(e, index, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = depth
+	return p, vars, nil
+}
+
+// emit appends postfix code for e; cur is the stack depth before the
+// node's own result is pushed. It returns the depth after the push.
+func (p *Program) emit(e Expr, index map[string]int, cur int) (int, error) {
+	grow := func(d int) {
+		if d > p.maxStack {
+			p.maxStack = d
+		}
+	}
+	switch e.kind {
+	case kConst:
+		p.code = append(p.code, instr{op: opConst, val: complex(e.val, 0)})
+		grow(cur + 1)
+		return cur + 1, nil
+	case kVar:
+		i, ok := index[e.name]
+		if !ok {
+			return 0, fmt.Errorf("expr: compile: unknown variable %q", e.name)
+		}
+		p.code = append(p.code, instr{op: opVar, idx: int32(i)})
+		grow(cur + 1)
+		return cur + 1, nil
+	case kAdd, kMul:
+		d := cur
+		for _, a := range e.args {
+			var err error
+			d, err = p.emit(a, index, d)
+			if err != nil {
+				return 0, err
+			}
+		}
+		op := opAdd
+		if e.kind == kMul {
+			op = opMul
+		}
+		p.code = append(p.code, instr{op: op, n: int32(len(e.args))})
+		return cur + 1, nil
+	case kPow:
+		if _, err := p.emit(*e.base, index, cur); err != nil {
+			return 0, err
+		}
+		p.code = append(p.code, instr{op: opPow, n: int32(e.expnt)})
+		return cur + 1, nil
+	}
+	panic("expr: unknown kind")
+}
+
+// Vars returns the variable order for EvalC's vals argument.
+func (p *Program) Vars() []string { return append([]string(nil), p.vars...) }
+
+// VarIndex returns the slot of a variable, or -1.
+func (p *Program) VarIndex(name string) int {
+	i := sort.SearchStrings(p.vars, name)
+	if i < len(p.vars) && p.vars[i] == name {
+		return i
+	}
+	return -1
+}
+
+// Size reports the instruction count, a proxy for expression complexity.
+func (p *Program) Size() int { return len(p.code) }
+
+// EvalC evaluates the program; vals must be index-aligned with Vars().
+// It is safe for concurrent use (the evaluation stack is local).
+func (p *Program) EvalC(vals []complex128) (complex128, error) {
+	if len(vals) != len(p.vars) {
+		return 0, fmt.Errorf("expr: program needs %d values, got %d", len(p.vars), len(vals))
+	}
+	stack := make([]complex128, 0, p.maxStack)
+	for i := range p.code {
+		in := &p.code[i]
+		switch in.op {
+		case opConst:
+			stack = append(stack, in.val)
+		case opVar:
+			stack = append(stack, vals[in.idx])
+		case opAdd:
+			n := int(in.n)
+			var s complex128
+			for _, v := range stack[len(stack)-n:] {
+				s += v
+			}
+			stack = stack[:len(stack)-n]
+			stack = append(stack, s)
+		case opMul:
+			n := int(in.n)
+			pr := complex(1, 0)
+			for _, v := range stack[len(stack)-n:] {
+				pr *= v
+			}
+			stack = stack[:len(stack)-n]
+			stack = append(stack, pr)
+		case opPow:
+			b := stack[len(stack)-1]
+			out := complex(1, 0)
+			k := int(in.n)
+			inv := k < 0
+			if inv {
+				k = -k
+			}
+			for j := 0; j < k; j++ {
+				out *= b
+			}
+			if inv {
+				out = 1 / out
+			}
+			stack[len(stack)-1] = out
+		}
+	}
+	if len(stack) != 1 {
+		return 0, fmt.Errorf("expr: corrupt program (stack depth %d)", len(stack))
+	}
+	return stack[0], nil
+}

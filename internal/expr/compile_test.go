@@ -1,0 +1,130 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompileMatchesEvalC(t *testing.T) {
+	tf := ladderTF(6)
+	env := ladderEnv(6, 3)
+	prog, vars, err := tf.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Size() == 0 {
+		t.Fatal("empty program")
+	}
+	cenv := map[string]complex128{}
+	vals := make([]complex128, len(vars))
+	for i, name := range vars {
+		var v complex128
+		if name == "s" {
+			v = complex(0, 2e9)
+		} else {
+			v = complex(env[name], 0)
+		}
+		vals[i] = v
+		cenv[name] = v
+	}
+	want, err := tf.EvalC(cenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.EvalC(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got - want; math.Hypot(real(d), imag(d)) > 1e-12*(1+math.Hypot(real(want), imag(want))) {
+		t.Fatalf("compiled %v vs tree %v", got, want)
+	}
+}
+
+// Property: compiled evaluation equals tree evaluation for random
+// expressions built from the constructor grammar.
+func TestCompileEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	names := []string{"a", "b", "c", "d"}
+	var build func(r *rand.Rand, depth int) Expr
+	build = func(r *rand.Rand, depth int) Expr {
+		if depth == 0 || r.Float64() < 0.3 {
+			if r.Float64() < 0.5 {
+				return C(r.Float64()*4 - 2)
+			}
+			return V(names[r.Intn(len(names))])
+		}
+		switch r.Intn(4) {
+		case 0:
+			return Add(build(r, depth-1), build(r, depth-1))
+		case 1:
+			return Mul(build(r, depth-1), build(r, depth-1))
+		case 2:
+			return Pow(build(r, depth-1), r.Intn(3)+1)
+		default:
+			return Sub(build(r, depth-1), build(r, depth-1))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := build(r, 5)
+		prog, vars, err := e.Compile()
+		if err != nil {
+			return false
+		}
+		cenv := map[string]complex128{}
+		vals := make([]complex128, len(vars))
+		for i, n := range vars {
+			v := complex(r.Float64()*2+0.5, r.Float64())
+			vals[i] = v
+			cenv[n] = v
+		}
+		want, err1 := e.EvalC(cenv)
+		got, err2 := prog.EvalC(vals)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		d := got - want
+		return math.Hypot(real(d), imag(d)) <= 1e-9*(1+math.Hypot(real(want), imag(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramVarIndex(t *testing.T) {
+	e := Add(V("x"), Mul(V("y"), V("s")))
+	prog, vars, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 3 {
+		t.Fatalf("vars = %v", vars)
+	}
+	if prog.VarIndex("s") < 0 || prog.VarIndex("zz") != -1 {
+		t.Fatal("VarIndex misbehaves")
+	}
+	if got := prog.Vars(); len(got) != 3 {
+		t.Fatalf("Vars = %v", got)
+	}
+	// Wrong value count errors.
+	if _, err := prog.EvalC(make([]complex128, 1)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCompilePowNegative(t *testing.T) {
+	e := Pow(V("x"), -2)
+	prog, _, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.EvalC([]complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(got)-0.25) > 1e-15 || imag(got) != 0 {
+		t.Fatalf("x^-2 at 2 = %v", got)
+	}
+}

@@ -1,0 +1,249 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, e Expr, env map[string]float64) float64 {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestConstFolding(t *testing.T) {
+	if e := Add(C(1), C(2), C(3)); !eq(e, 6) {
+		t.Fatalf("Add consts = %s", e)
+	}
+	if e := Mul(C(2), C(3)); !eq(e, 6) {
+		t.Fatalf("Mul consts = %s", e)
+	}
+	if e := Mul(C(0), V("x")); !e.IsZero() {
+		t.Fatalf("0*x = %s, want 0", e)
+	}
+	if e := Add(); !e.IsZero() {
+		t.Fatalf("empty Add = %s", e)
+	}
+	if e := Mul(); !e.IsOne() {
+		t.Fatalf("empty Mul = %s", e)
+	}
+	if e := Pow(V("x"), 0); !e.IsOne() {
+		t.Fatalf("x^0 = %s", e)
+	}
+	if e := Pow(C(2), 3); !eq(e, 8) {
+		t.Fatalf("2^3 = %s", e)
+	}
+}
+
+func eq(e Expr, v float64) bool {
+	c, ok := e.IsConst()
+	return ok && c == v
+}
+
+func TestFlattening(t *testing.T) {
+	e := Add(V("a"), Add(V("b"), Add(V("c"), C(1))), C(2))
+	env := map[string]float64{"a": 1, "b": 2, "c": 3}
+	if got := evalOK(t, e, env); got != 9 {
+		t.Fatalf("flattened sum = %g, want 9", got)
+	}
+	m := Mul(V("a"), Mul(V("b"), C(2)), C(3))
+	if got := evalOK(t, m, env); got != 12 {
+		t.Fatalf("flattened product = %g, want 12", got)
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	if _, err := V("missing").Eval(map[string]float64{}); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+	if _, err := Add(V("x"), V("missing")).Eval(map[string]float64{"x": 1}); err == nil {
+		t.Fatal("expected unbound-variable error in sum")
+	}
+}
+
+func TestDivPow(t *testing.T) {
+	e := Div(V("gm"), V("C"))
+	env := map[string]float64{"gm": 1e-3, "C": 1e-12}
+	if got := evalOK(t, e, env); math.Abs(got-1e9) > 1 {
+		t.Fatalf("gm/C = %g, want 1e9", got)
+	}
+	// Div by const folds.
+	d := Div(V("x"), C(4))
+	if got := evalOK(t, d, map[string]float64{"x": 8}); got != 2 {
+		t.Fatalf("x/4 = %g", got)
+	}
+	// Nested pow collapses: (x^2)^3 = x^6.
+	p := Pow(Pow(V("x"), 2), 3)
+	if got := evalOK(t, p, map[string]float64{"x": 2}); got != 64 {
+		t.Fatalf("(x^2)^3 = %g, want 64", got)
+	}
+}
+
+func TestDivByZeroConstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero const should panic")
+		}
+	}()
+	Div(V("x"), C(0))
+}
+
+func TestVars(t *testing.T) {
+	e := Add(Mul(V("gm1"), V("ro")), Pow(V("s"), 2), C(3))
+	got := e.Vars()
+	want := []string{"gm1", "ro", "s"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	// d/dx (x² + 3x + 5) = 2x + 3
+	x := V("x")
+	e := Add(Pow(x, 2), Mul(C(3), x), C(5))
+	d := e.Diff("x")
+	for _, xv := range []float64{-2, 0, 1.5, 10} {
+		got := evalOK(t, d, map[string]float64{"x": xv})
+		want := 2*xv + 3
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("d(x²+3x+5)(%g) = %g, want %g", xv, got, want)
+		}
+	}
+	// Product rule: d/dx (x·y) = y.
+	p := Mul(x, V("y")).Diff("x")
+	got := evalOK(t, p, map[string]float64{"x": 7, "y": 3})
+	if got != 3 {
+		t.Fatalf("d(xy)/dx = %g, want 3", got)
+	}
+	// Quotient: d/dx (1/x) = -1/x².
+	q := Div(C(1), x).Diff("x")
+	got = evalOK(t, q, map[string]float64{"x": 2})
+	if math.Abs(got+0.25) > 1e-12 {
+		t.Fatalf("d(1/x)/dx at 2 = %g, want -0.25", got)
+	}
+}
+
+// Property: Diff agrees with a central finite difference for a random
+// polynomial-ish expression.
+func TestDiffNumericProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := V("x")
+		e := Add(
+			Mul(C(r.Float64()*4-2), Pow(x, 3)),
+			Mul(C(r.Float64()*4-2), Pow(x, 2)),
+			Mul(C(r.Float64()*4-2), x),
+			C(r.Float64()),
+		)
+		d := e.Diff("x")
+		x0 := r.Float64()*4 - 2
+		h := 1e-5
+		fp, _ := e.Eval(map[string]float64{"x": x0 + h})
+		fm, _ := e.Eval(map[string]float64{"x": x0 - h})
+		numeric := (fp - fm) / (2 * h)
+		symbolic, err := d.Eval(map[string]float64{"x": x0})
+		if err != nil {
+			return false
+		}
+		return math.Abs(numeric-symbolic) < 1e-4*(1+math.Abs(symbolic))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalC(t *testing.T) {
+	// H = 1/(1 + s·RC) at s = j/RC has |H| = 1/√2.
+	s := V("s")
+	rc := 1e-9
+	h := Div(C(1), Add(C(1), Mul(C(rc), s)))
+	v, err := h.EvalC(map[string]complex128{"s": complex(0, 1/rc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := math.Hypot(real(v), imag(v))
+	if math.Abs(mag-1/math.Sqrt2) > 1e-12 {
+		t.Fatalf("|H| = %g, want %g", mag, 1/math.Sqrt2)
+	}
+}
+
+func TestToRat(t *testing.T) {
+	// H = gm/(gm + s·C) → single pole at -gm/C, DC gain 1.
+	s := V("s")
+	h := Div(V("gm"), Add(V("gm"), Mul(s, V("C"))))
+	env := map[string]float64{"gm": 1e-3, "C": 1e-12}
+	r, err := h.ToRat("s", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r.DCGain(); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("DCGain = %g, want 1", g)
+	}
+	poles := r.Poles()
+	if len(poles) != 1 {
+		t.Fatalf("poles = %v", poles)
+	}
+	wantPole := -1e-3 / 1e-12
+	if math.Abs(real(poles[0])-wantPole) > math.Abs(wantPole)*1e-6 {
+		t.Fatalf("pole = %v, want %g", poles[0], wantPole)
+	}
+}
+
+// Property: ToRat and EvalC agree at random jω points.
+func TestToRatMatchesEvalCProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := V("s")
+		a, b, c := r.Float64()+0.5, r.Float64()+0.5, r.Float64()+0.5
+		// H = (a + b·s)/(c + s + s²)
+		h := Div(Add(C(a), Mul(C(b), s)), Add(C(c), s, Pow(s, 2)))
+		env := map[string]float64{}
+		rat, err := h.ToRat("s", env)
+		if err != nil {
+			return false
+		}
+		w := r.Float64()*10 + 0.1
+		sv := complex(0, w)
+		direct, err := h.EvalC(map[string]complex128{"s": sv})
+		if err != nil {
+			return false
+		}
+		viaRat := rat.Eval(sv)
+		diff := direct - viaRat
+		return math.Hypot(real(diff), imag(diff)) < 1e-9*(1+math.Hypot(real(direct), imag(direct)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Add(Mul(C(2), V("x")), Pow(V("y"), -1))
+	if e.String() == "" {
+		t.Fatal("empty render")
+	}
+	if V("gm").String() != "gm" {
+		t.Fatal("var render")
+	}
+}
+
+func TestEmptyVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("V(\"\") should panic")
+		}
+	}()
+	V("")
+}

@@ -1,0 +1,193 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/mdac"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/sim"
+	"pipesyn/internal/stagespec"
+)
+
+// relaxedStage returns a late-pipeline stage whose initial sizing is
+// likely near-feasible, for fast integration tests.
+func relaxedStage(t *testing.T) mdac.Stage {
+	t.Helper()
+	adc := stagespec.ADCSpec{Bits: 10, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := specs[1]
+	p := pdk.TSMC025()
+	sz := opamp.InitialSizing(p, opamp.BlockSpec{
+		GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad, CFeed: sp.CFeed,
+		Gain: sp.GainMin, Swing: sp.SwingMin,
+	})
+	return mdac.Stage{Spec: sp, Sizing: sz, Process: p}
+}
+
+func TestHybridEvaluation(t *testing.T) {
+	st := relaxedStage(t)
+	m, err := Evaluate(st, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Power <= 0 {
+		t.Fatalf("power = %g", m.Power)
+	}
+	if m.AmpGain < 100 {
+		t.Fatalf("amp gain = %g, implausibly low for a two-stage OTA", m.AmpGain)
+	}
+	if m.CrossoverHz <= 0 {
+		t.Fatalf("no crossover found")
+	}
+	if m.PhaseMargin <= 0 || m.PhaseMargin >= 180 {
+		t.Fatalf("PM = %g out of range", m.PhaseMargin)
+	}
+	if m.SettleTime <= 0 {
+		t.Fatalf("settle time = %g", m.SettleTime)
+	}
+	if m.SwingHi <= m.SwingLo {
+		t.Fatalf("swing window inverted: [%g, %g]", m.SwingLo, m.SwingHi)
+	}
+}
+
+// The central claim of the hybrid method: its linear metrics agree with
+// full (swept AC) simulation because both come from the same extracted
+// small-signal reality.
+func TestHybridMatchesSimOnly(t *testing.T) {
+	st := relaxedStage(t)
+	hy, err := Evaluate(st, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := Evaluate(st, SimOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relDiff := func(a, b float64) float64 {
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+	if relDiff(hy.LoopGain0, so.LoopGain0) > 0.02 {
+		t.Fatalf("loop gain: hybrid %g vs sim %g", hy.LoopGain0, so.LoopGain0)
+	}
+	if relDiff(hy.CrossoverHz, so.CrossoverHz) > 0.05 {
+		t.Fatalf("crossover: hybrid %g vs sim %g", hy.CrossoverHz, so.CrossoverHz)
+	}
+	if math.Abs(hy.PhaseMargin-so.PhaseMargin) > 3 {
+		t.Fatalf("PM: hybrid %g vs sim %g", hy.PhaseMargin, so.PhaseMargin)
+	}
+	// Power and settling come from identical legs, so they must agree
+	// almost exactly.
+	if relDiff(hy.Power, so.Power) > 1e-9 {
+		t.Fatalf("power mismatch: %g vs %g", hy.Power, so.Power)
+	}
+}
+
+// The equation-only path should be in the right ballpark (it is the
+// designer's model, not reality) — within a factor of ~3 on gain and
+// crossover for a near-textbook sizing.
+func TestEquationOnlyBallpark(t *testing.T) {
+	st := relaxedStage(t)
+	eq, err := Evaluate(st, EquationOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := Evaluate(st, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(a, b float64) float64 {
+		if a < b {
+			a, b = b, a
+		}
+		return a / b
+	}
+	if r := ratio(eq.AmpGain, hy.AmpGain); r > 4 {
+		t.Fatalf("equation gain %g vs hybrid %g: ratio %g", eq.AmpGain, hy.AmpGain, r)
+	}
+	if r := ratio(eq.CrossoverHz, hy.CrossoverHz); r > 4 {
+		t.Fatalf("equation crossover %g vs hybrid %g: ratio %g", eq.CrossoverHz, hy.CrossoverHz, r)
+	}
+	if r := ratio(eq.Power, hy.Power); r > 2 {
+		t.Fatalf("equation power %g vs hybrid %g", eq.Power, hy.Power)
+	}
+}
+
+func TestCheckAudit(t *testing.T) {
+	st := relaxedStage(t)
+	specs := SpecsFor(st)
+	good := Metrics{
+		AmpGain: specs.GainMin * 2, CrossoverHz: specs.CrossoverMin * 2,
+		PhaseMargin: 70, StaticError: specs.StaticErrMax / 2,
+		SettleTime: specs.SettleTimeMax / 2, Settled: true,
+		SwingLo: specs.SwingLoMax - 0.1, SwingHi: specs.SwingHiMin + 0.1,
+		AllSaturated: true,
+	}
+	if r := Check(specs, good); r.Violations != 0 {
+		t.Fatalf("good metrics flagged: %v", r.Failures)
+	}
+	bad := good
+	bad.AmpGain = specs.GainMin / 10
+	bad.Settled = false
+	bad.AllSaturated = false
+	r := Check(specs, bad)
+	if r.Violations <= 0 || len(r.Failures) < 3 {
+		t.Fatalf("bad metrics not flagged: %+v", r)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Hybrid.String() != "hybrid" || EquationOnly.String() != "equation" || SimOnly.String() != "simulation" {
+		t.Fatal("mode strings")
+	}
+	if _, err := Evaluate(relaxedStage(t), Mode(99)); err == nil {
+		t.Fatal("expected unknown-mode error")
+	}
+}
+
+func TestSettleTimeMeasurement(t *testing.T) {
+	// Synthetic waveform: steps at t=1, exponentially approaches 2.0.
+	tr := synthTran()
+	st, ok, err := SettleTime(tr, "out", 1.0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("should settle")
+	}
+	// exp(-t/0.5) < 0.02/1.0 → t > 0.5·ln50 ≈ 1.96.
+	if st < 1.5 || st > 2.5 {
+		t.Fatalf("settle time = %g, want ≈2", st)
+	}
+	// Impossible band: never settles.
+	_, ok, err = SettleTime(tr, "out", 1.0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("should not settle to 1e-12")
+	}
+	if _, _, err := SettleTime(tr, "ghost", 0, 1); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+}
+
+func synthTran() *sim.TranResult {
+	n := 500
+	tr := &sim.TranResult{V: map[string][]float64{}}
+	for i := 0; i < n; i++ {
+		tt := float64(i) * 0.01
+		v := 1.0
+		if tt >= 1 {
+			v = 2 - math.Exp(-(tt-1)/0.5)
+		}
+		tr.T = append(tr.T, tt)
+		tr.V["out"] = append(tr.V["out"], v)
+	}
+	return tr
+}

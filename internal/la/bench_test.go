@@ -1,0 +1,62 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSystem(n int, seed int64) (*Matrix, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := r.Float64()*2 - 1
+				a.Set(i, j, v)
+				rowSum += v
+			}
+		}
+		a.Set(i, i, rowSum+2)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	return a, b
+}
+
+// MNA matrices in this project are ~20×20; benchmark that regime.
+func BenchmarkFactorSolve20(b *testing.B) {
+	a, rhs := randomSystem(20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Factor(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f.Solve(rhs)
+	}
+}
+
+func BenchmarkCFactorSolve20(b *testing.B) {
+	ar, rhs := randomSystem(20, 2)
+	a := NewCMatrix(20, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			a.Set(i, j, complex(ar.At(i, j), 0.1*ar.At(j, i)))
+		}
+	}
+	cb := make([]complex128, 20)
+	for i := range cb {
+		cb[i] = complex(rhs[i], 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := CFactor(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f.Solve(cb)
+	}
+}

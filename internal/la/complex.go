@@ -1,0 +1,174 @@
+package la
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix used by the AC analysis,
+// where every frequency point solves (G + jωC)·x = b.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed r×c complex matrix.
+func NewCMatrix(r, c int) *CMatrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("la: invalid dimensions %d×%d", r, c))
+	}
+	return &CMatrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i,j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i,j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears all entries in place.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	out := NewCMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = M·x.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic("la: MulVec dimension mismatch")
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// CLU is the complex analogue of LU.
+type CLU struct {
+	lu    *CMatrix
+	piv   []int
+	signs int
+}
+
+// CFactor computes a partial-pivot LU factorization of the complex matrix a.
+func CFactor(a *CMatrix) (*CLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("la: CFactor requires square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	maxAbs := 0.0
+	for _, v := range lu.Data {
+		if av := cmplx.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := maxAbs * 1e-300
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		pm := cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if av := cmplx.Abs(lu.At(i, k)); av > pm {
+				pm, p = av, i
+			}
+		}
+		if pm <= tol {
+			return nil, ErrSingular
+		}
+		if p != k {
+			ri, rk := lu.Data[p*n:(p+1)*n], lu.Data[k*n:(k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			rowI := lu.Data[i*n : (i+1)*n]
+			rowK := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return &CLU{lu: lu, piv: piv, signs: sign}, nil
+}
+
+// Solve returns x with A·x = b.
+func (f *CLU) Solve(b []complex128) []complex128 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("la: Solve dimension mismatch")
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns det(A).
+func (f *CLU) Det() complex128 {
+	d := complex(float64(f.signs), 0)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// CSolveSystem factors a and solves A·x = b in one call.
+func CSolveSystem(a *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := CFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

@@ -1,0 +1,227 @@
+// Package la provides the dense linear algebra used by the circuit
+// simulator: real and complex LU factorization with partial pivoting,
+// triangular solves, determinants, and a handful of vector helpers.
+//
+// Circuit matrices from modified nodal analysis are small (tens of rows)
+// and re-factored at every Newton iteration, so a cache-friendly dense
+// Doolittle LU is the right tool; no sparse machinery is needed at the
+// scale of the MDAC and op-amp circuits this project synthesizes.
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization meets a pivot that is exactly
+// zero or numerically negligible relative to the matrix scale.
+var ErrSingular = errors.New("la: singular matrix")
+
+// Matrix is a dense row-major real matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("la: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i,j); this is the "stamp" primitive used
+// throughout MNA assembly.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears every element in place, preserving the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = M·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("la: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("% .6g\t", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U with unit-diagonal L stored below the diagonal of lu and U on
+// and above it.
+type LU struct {
+	lu    *Matrix
+	piv   []int
+	signs int // +1 or -1, permutation parity for determinants
+}
+
+// Factor computes the LU decomposition of a (which is not modified).
+// It returns ErrSingular when a pivot is smaller than roughly machine
+// epsilon times the largest row magnitude.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("la: Factor requires square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	// Scale reference for singularity detection.
+	maxAbs := 0.0
+	for _, v := range lu.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := maxAbs * 1e-300
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: find max |element| in column k at/below row k.
+		p := k
+		pm := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if av := math.Abs(lu.At(i, k)); av > pm {
+				pm, p = av, i
+			}
+		}
+		if pm <= tol {
+			return nil, ErrSingular
+		}
+		if p != k {
+			ri, rk := lu.Data[p*n:(p+1)*n], lu.Data[k*n:(k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			rowI := lu.Data[i*n : (i+1)*n]
+			rowK := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, signs: sign}, nil
+}
+
+// Solve returns x with A·x = b. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("la: Solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns det(A) from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.signs)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveSystem is a convenience wrapper: factor a and solve for b.
+func SolveSystem(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// NormInf returns the infinity norm (max absolute entry) of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,52 @@
+package mdac
+
+import (
+	"testing"
+
+	"pipesyn/internal/sim"
+)
+
+// Cross-layer check of the kT/C budgeting: the simulated output noise of
+// a biased hold-phase stage, referred to the stage input, must stay
+// within the same order as the kT/C noise of its sampling capacitor —
+// the designer-equation budget stagespec allocates. (The hold loop adds
+// amplifier channel noise on top of the capacitor network, so the bound
+// is a factor, not an equality.)
+func TestHoldCircuitNoiseNearKTC(t *testing.T) {
+	st := testStage(t)
+	hold, err := st.HoldCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := sim.OP(hold, sim.DCOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Noise(hold, op, sim.NoiseOpts{
+		Output: NodeOut, FStart: 1e3, FStop: 100e9, PointsPerDecade: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNoise := res.Integrated
+	inReferred := outNoise / (st.Spec.Gain * st.Spec.Gain)
+	ktc := 1.380649e-23 * 300 / st.Spec.CSample
+	if inReferred <= 0 {
+		t.Fatal("no noise measured")
+	}
+	ratio := inReferred / ktc
+	if ratio > 30 || ratio < 0.05 {
+		t.Fatalf("input-referred hold noise %g V² vs kT/Cs %g V² (ratio %g) — budget broken",
+			inReferred, ktc, ratio)
+	}
+	// The amplifier transistors must be accounted among the contributors.
+	foundMOS := false
+	for name := range res.ByElement {
+		if len(name) > 2 && name[:2] == "a." {
+			foundMOS = true
+		}
+	}
+	if !foundMOS {
+		t.Fatal("no amplifier noise contribution recorded")
+	}
+}

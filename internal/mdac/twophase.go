@@ -1,0 +1,84 @@
+package mdac
+
+import (
+	"fmt"
+
+	"pipesyn/internal/netlist"
+	"pipesyn/internal/opamp"
+)
+
+// TwoPhaseCircuit builds the complete switched-capacitor MDAC with its
+// clocked switches, operating on the standard two-phase cycle:
+//
+//	φ1 (sample):  Cs bottom plate ← vin,  summing node ← VCM,
+//	              Cf shorted (amplifier reset)
+//	φ2 (hold):    Cs bottom plate ← vdac, amplifier closes the loop
+//	              through Cf
+//
+// Charge conservation then gives out = VCM + (Cs/Cf)·(vin − vdac), the
+// stage's residue with gain Cs/Cf = 2^(m−1). The hold-phase evaluation
+// circuits (HoldCircuit/LoopCircuit) abstract the φ1 machinery away for
+// synthesis speed; this netlist exists to prove, at transistor level,
+// that the sampled-data behaviour the behavioral model assumes actually
+// emerges from the switch timing. vin and vdac are DC levels.
+func (st Stage) TwoPhaseCircuit(vin, vdac float64) (*netlist.Circuit, error) {
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	p := st.Process
+	c := netlist.New(fmt.Sprintf("mdac stage %d (%d-bit) two-phase", st.Spec.Stage, st.Spec.Bits))
+	p.Attach(c)
+	c.MustAdd(&netlist.Element{
+		Name: "vdd", Type: netlist.VSource, Nodes: []string{"vdd", "0"},
+		Src: &netlist.Source{DC: p.VDD},
+	})
+	c.MustAdd(&netlist.Element{
+		Name: "vcm", Type: netlist.VSource, Nodes: []string{opamp.PortInP, "0"},
+		Src: &netlist.Source{DC: VCM},
+	})
+	c.MustAdd(&netlist.Element{
+		Name: "vin", Type: netlist.VSource, Nodes: []string{"vin", "0"},
+		Src: &netlist.Source{DC: vin},
+	})
+	c.MustAdd(&netlist.Element{
+		Name: "vdac", Type: netlist.VSource, Nodes: []string{"vdac", "0"},
+		Src: &netlist.Source{DC: vdac},
+	})
+	st.Sizing.Build(c, p, AmpPrefix)
+
+	// Capacitor network: Cs from the summing node to its bottom plate,
+	// Cf from output to summing node.
+	c.MustAdd(&netlist.Element{
+		Name: "cs", Type: netlist.Capacitor,
+		Nodes: []string{NodeSum, "csbot"}, Value: st.Spec.CSample,
+	})
+	c.MustAdd(&netlist.Element{
+		Name: "cf", Type: netlist.Capacitor,
+		Nodes: []string{NodeOut, NodeSum}, Value: st.Spec.CFeed,
+	})
+	c.MustAdd(&netlist.Element{
+		Name: "cl", Type: netlist.Capacitor,
+		Nodes: []string{NodeOut, "0"}, Value: st.Spec.CLoad,
+	})
+
+	sw := func(name, a, b string, phase int) {
+		c.MustAdd(&netlist.Element{
+			Name: name, Type: netlist.Switch, Nodes: []string{a, b},
+			Model:  "swideal",
+			Params: map[string]float64{"phase": float64(phase)},
+		})
+	}
+	// φ1: sample vin, pin the summing node to VCM, reset Cf.
+	sw("s1", "csbot", "vin", 1)
+	sw("s2", NodeSum, opamp.PortInP, 1) // summing node to the VCM rail
+	sw("s3", NodeOut, NodeSum, 1)       // short Cf: amplifier reset
+	// φ2: transfer charge against the DAC level.
+	sw("s4", "csbot", "vdac", 2)
+	return c, nil
+}
+
+// TwoPhaseExpected returns the ideal settled output of the two-phase
+// stage for the given input and DAC levels.
+func (st Stage) TwoPhaseExpected(vin, vdac float64) float64 {
+	return VCM + st.Spec.CSample/st.Spec.CFeed*(vin-vdac)
+}

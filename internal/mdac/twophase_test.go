@@ -1,0 +1,78 @@
+package mdac
+
+import (
+	"math"
+	"testing"
+
+	"pipesyn/internal/sim"
+)
+
+// The transistor-level two-phase MDAC must realize the sampled-data
+// transfer out = VCM + (Cs/Cf)(vin − vdac) the behavioral model assumes.
+func TestTwoPhaseChargeTransfer(t *testing.T) {
+	st := testStage(t)
+	period := 2 * (st.Spec.TSettle + st.Spec.TSlew)
+	nov := period / 50
+
+	for _, tc := range []struct{ vin, vdac float64 }{
+		{VCM + 0.10, VCM},        // pure amplification of a small input
+		{VCM + 0.20, VCM + 0.25}, // DAC subtraction dominates
+		{VCM - 0.15, VCM - 0.10},
+	} {
+		c, err := st.TwoPhaseCircuit(tc.vin, tc.vdac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two full clock periods: settle the sample in the first φ1,
+		// transfer in φ2; measure at the end of the first φ2.
+		res, err := sim.Tran(c, sim.TranOpts{
+			TStop: 1.0 * period, TStep: period / 800,
+			ClockPeriod: period, NonOverlap: nov,
+		})
+		if err != nil {
+			t.Fatalf("vin=%g vdac=%g: %v", tc.vin, tc.vdac, err)
+		}
+		// Sample the output just before φ2 ends.
+		tMeasure := period - 2*nov
+		got, err := res.At(NodeOut, tMeasure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := st.TwoPhaseExpected(tc.vin, tc.vdac)
+		// The relaxed test stage settles to ~1.6% tolerance; allow 4% of
+		// the step plus a few mV of reset/charge-injection artifacts.
+		tol := 0.04*math.Abs(want-VCM) + 5e-3
+		if math.Abs(got-want) > tol {
+			t.Fatalf("vin=%g vdac=%g: out=%g, want %g (±%g)", tc.vin, tc.vdac, got, want, tol)
+		}
+	}
+}
+
+// During φ1 the amplifier is reset: output and summing node sit at VCM.
+func TestTwoPhaseResetState(t *testing.T) {
+	st := testStage(t)
+	period := 2 * (st.Spec.TSettle + st.Spec.TSlew)
+	c, err := st.TwoPhaseCircuit(VCM+0.2, VCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Tran(c, sim.TranOpts{
+		TStop: period / 2, TStep: period / 800,
+		ClockPeriod: period, NonOverlap: period / 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late in φ1 everything is reset near VCM and the sampling cap's
+	// bottom plate tracks vin.
+	tSample := 0.4 * period
+	vout, _ := res.At(NodeOut, tSample)
+	vsum, _ := res.At(NodeSum, tSample)
+	vbot, _ := res.At("csbot", tSample)
+	if math.Abs(vout-VCM) > 0.02 || math.Abs(vsum-VCM) > 0.02 {
+		t.Fatalf("reset state out=%g sum=%g, want ≈%g", vout, vsum, VCM)
+	}
+	if math.Abs(vbot-(VCM+0.2)) > 0.01 {
+		t.Fatalf("bottom plate %g should track vin %g", vbot, VCM+0.2)
+	}
+}

@@ -1,0 +1,26 @@
+package netlist
+
+import "testing"
+
+func BenchmarkParseDeck(b *testing.B) {
+	deck := `* bench deck
+.subckt inv in out vdd
+M1 out in 0 0 nch W=1u L=0.25u
+M2 out in vdd vdd pch W=2u L=0.25u
+.ends
+V1 vdd 0 DC 3.3
+VIN a 0 PULSE(0 3.3 1n 0.1n 0.1n 5n 10n)
+X1 a b vdd inv
+X2 b c vdd inv
+X3 c d vdd inv
+CL d 0 10f
+.model nch nmos (vto=0.45 kp=180u)
+.model pch pmos (vto=-0.5 kp=60u)
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(deck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package pdk provides the 0.25 µm 3.3 V CMOS process description that
+// stands in for the proprietary foundry kit used in the paper. The numbers
+// are public-textbook values for a generic quarter-micron process; the
+// synthesis flow only relies on them being self-consistent, because the
+// paper's claim — the power *ordering* of stage-resolution configurations —
+// is driven by gm/ID physics and kT/C noise scaling, not by any particular
+// foundry's decimal places.
+package pdk
+
+import (
+	"fmt"
+
+	"pipesyn/internal/netlist"
+)
+
+// Process bundles every process-level constant the flow needs.
+type Process struct {
+	Name string
+	VDD  float64 // supply, V
+	Temp float64 // kelvin
+
+	LMin, WMin float64 // minimum feature sizes, m
+	LMax, WMax float64 // sanity bounds for the optimizer, m
+
+	// NMOS / PMOS square-law parameters.
+	NMOS, PMOS MOSKit
+
+	// Capacitor technology (MiM/poly-poly) density and limits.
+	CapDensity float64 // F/m²
+	CapMin     float64 // smallest manufacturable unit cap, F
+	CapMax     float64 // largest practical cap per device, F
+
+	// Switch technology abstraction for SC circuits.
+	SwitchRon, SwitchRoff float64
+}
+
+// MOSKit is the parameter bag for one device polarity.
+type MOSKit struct {
+	VTO    float64
+	KP     float64
+	Lambda float64
+	Gamma  float64
+	Phi    float64
+	Cox    float64
+	CGSO   float64
+	CGDO   float64
+	CJW    float64
+}
+
+// Boltzmann constant (J/K).
+const Boltzmann = 1.380649e-23
+
+// TSMC025 returns the default generic 0.25 µm 3.3 V process used for all
+// the paper-reproduction experiments. (The name records the class of
+// process, not an actual foundry deck.)
+func TSMC025() *Process {
+	return &Process{
+		Name: "generic-0.25um-3.3V",
+		VDD:  3.3,
+		Temp: 300,
+		LMin: 0.25e-6, WMin: 0.5e-6,
+		LMax: 10e-6, WMax: 2000e-6,
+		NMOS: MOSKit{
+			VTO: 0.45, KP: 180e-6, Lambda: 0.06, Gamma: 0.45, Phi: 0.8,
+			Cox: 6e-3, CGSO: 3e-10, CGDO: 3e-10, CJW: 8e-10,
+		},
+		PMOS: MOSKit{
+			VTO: -0.5, KP: 60e-6, Lambda: 0.08, Gamma: 0.5, Phi: 0.8,
+			Cox: 6e-3, CGSO: 3e-10, CGDO: 3e-10, CJW: 9e-10,
+		},
+		CapDensity: 1e-3, // 1 fF/µm²
+		CapMin:     5e-15,
+		CapMax:     20e-12,
+		SwitchRon:  500,
+		SwitchRoff: 1e12,
+	}
+}
+
+// KT returns kT at the process temperature, in joules.
+func (p *Process) KT() float64 { return Boltzmann * p.Temp }
+
+// KTOverC returns the mean-square kT/C sampling-noise voltage for a
+// capacitor of value c.
+func (p *Process) KTOverC(c float64) float64 { return p.KT() / c }
+
+// NoiseCapFor returns the smallest sampling capacitor whose kT/C noise
+// power stays below the given mean-square voltage budget.
+func (p *Process) NoiseCapFor(vnsq float64) float64 {
+	if vnsq <= 0 {
+		return p.CapMax
+	}
+	c := p.KT() / vnsq
+	if c < p.CapMin {
+		c = p.CapMin
+	}
+	return c
+}
+
+// ModelCards returns the .model cards for this process, ready to attach to
+// generated circuits.
+func (p *Process) ModelCards() []*netlist.Model {
+	mk := func(name, typ string, k MOSKit) *netlist.Model {
+		return &netlist.Model{Name: name, Type: typ, Params: map[string]float64{
+			"vto": k.VTO, "kp": k.KP, "lambda": k.Lambda, "gamma": k.Gamma,
+			"phi": k.Phi, "cox": k.Cox, "cgso": k.CGSO, "cgdo": k.CGDO, "cjw": k.CJW,
+		}}
+	}
+	return []*netlist.Model{
+		mk("nch", "nmos", p.NMOS),
+		mk("pch", "pmos", p.PMOS),
+		{Name: "swideal", Type: "sw", Params: map[string]float64{
+			"ron": p.SwitchRon, "roff": p.SwitchRoff,
+		}},
+	}
+}
+
+// Attach registers the process model cards on a circuit.
+func (p *Process) Attach(c *netlist.Circuit) {
+	for _, m := range p.ModelCards() {
+		c.AddModel(m)
+	}
+}
+
+// ClampW and ClampL bound a candidate device size to the manufacturable
+// range; the synthesis optimizer calls these after every move.
+func (p *Process) ClampW(w float64) float64 { return clamp(w, p.WMin, p.WMax) }
+
+// ClampL bounds a channel length.
+func (p *Process) ClampL(l float64) float64 { return clamp(l, p.LMin, p.LMax) }
+
+// ClampC bounds a capacitor value.
+func (p *Process) ClampC(c float64) float64 { return clamp(c, p.CapMin, p.CapMax) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Validate checks internal consistency; generated processes (tests, custom
+// kits) should call it once.
+func (p *Process) Validate() error {
+	switch {
+	case p.VDD <= 0:
+		return fmt.Errorf("pdk: non-positive supply")
+	case p.LMin <= 0 || p.WMin <= 0 || p.LMax < p.LMin || p.WMax < p.WMin:
+		return fmt.Errorf("pdk: inconsistent geometry bounds")
+	case p.NMOS.VTO <= 0:
+		return fmt.Errorf("pdk: NMOS threshold must be positive")
+	case p.PMOS.VTO >= 0:
+		return fmt.Errorf("pdk: PMOS threshold must be negative")
+	case p.NMOS.KP <= 0 || p.PMOS.KP <= 0:
+		return fmt.Errorf("pdk: non-positive transconductance parameter")
+	case p.CapMin <= 0 || p.CapMax < p.CapMin:
+		return fmt.Errorf("pdk: inconsistent capacitor bounds")
+	case p.Temp <= 0:
+		return fmt.Errorf("pdk: non-positive temperature")
+	}
+	return nil
+}

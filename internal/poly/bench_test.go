@@ -1,0 +1,20 @@
+package poly
+
+import "testing"
+
+func BenchmarkRootsDegree8(b *testing.B) {
+	p := FromRoots(-1, -3, -10, -30, -100, -300, -1000, -3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Roots()
+	}
+}
+
+func BenchmarkRatMulAdd(b *testing.B) {
+	h1, _ := NewRat(New(1), New(1, 1e-9))
+	h2, _ := NewRat(New(100), New(1, 1e-6, 1e-15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h1.Mul(h2).Add(h1)
+	}
+}

@@ -1,0 +1,270 @@
+// Package poly implements univariate polynomials and rational functions in
+// the Laplace variable s, together with a Durand–Kerner root finder. These
+// are the numeric backbone for transfer functions produced by the DPI/SFG
+// + Mason's-rule flow: once small-signal parameters are known numerically,
+// a transfer function becomes a Rat whose poles and zeros, DC gain and
+// frequency response drive the fast "equation side" of the hybrid evaluator.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Poly is a real polynomial stored as ascending coefficients:
+// p[0] + p[1]·x + p[2]·x² + …  The zero polynomial is the empty slice.
+type Poly []float64
+
+// New builds a polynomial from ascending coefficients, trimming trailing
+// zeros so Degree is well-defined.
+func New(coeffs ...float64) Poly { return Poly(coeffs).Trim() }
+
+// Trim removes trailing (high-order) zero coefficients.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the polynomial degree; the zero polynomial has degree -1.
+func (p Poly) Degree() int { return len(p.Trim()) - 1 }
+
+// IsZero reports whether p is identically zero.
+func (p Poly) IsZero() bool { return len(p.Trim()) == 0 }
+
+// Clone returns a copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	copy(out, p)
+	for i, v := range q {
+		out[i] += v
+	}
+	return out.Trim()
+}
+
+// Sub returns p − q.
+func (p Poly) Sub(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	copy(out, p)
+	for i, v := range q {
+		out[i] -= v
+	}
+	return out.Trim()
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	p, q = p.Trim(), q.Trim()
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] += a * b
+		}
+	}
+	return out.Trim()
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	if k == 0 {
+		return nil
+	}
+	out := make(Poly, len(p))
+	for i, v := range p {
+		out[i] = k * v
+	}
+	return out.Trim()
+}
+
+// Eval evaluates p at the complex point x by Horner's method.
+func (p Poly) Eval(x complex128) complex128 {
+	var acc complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + complex(p[i], 0)
+	}
+	return acc
+}
+
+// EvalReal evaluates p at a real point.
+func (p Poly) EvalReal(x float64) float64 {
+	acc := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc*x + p[i]
+	}
+	return acc
+}
+
+// Deriv returns dp/dx.
+func (p Poly) Deriv() Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = float64(i) * p[i]
+	}
+	return out.Trim()
+}
+
+// Monic returns p scaled so its leading coefficient is 1; the zero
+// polynomial is returned unchanged.
+func (p Poly) Monic() Poly {
+	p = p.Trim()
+	if len(p) == 0 {
+		return p
+	}
+	return p.Scale(1 / p[len(p)-1])
+}
+
+// String renders p in ascending-power form like "1 + 2·s + 3·s^2".
+func (p Poly) String() string {
+	p2 := p.Trim()
+	if len(p2) == 0 {
+		return "0"
+	}
+	var parts []string
+	for i, c := range p2 {
+		if c == 0 && len(p2) > 1 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, fmt.Sprintf("%.6g", c))
+		case 1:
+			parts = append(parts, fmt.Sprintf("%.6g·s", c))
+		default:
+			parts = append(parts, fmt.Sprintf("%.6g·s^%d", c, i))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Roots returns all complex roots of p using the Durand–Kerner iteration.
+// The polynomial must have degree ≥ 1; degree-0 and zero polynomials
+// return nil. Results are unordered.
+func (p Poly) Roots() []complex128 {
+	p = p.Trim()
+	n := len(p) - 1
+	if n < 1 {
+		return nil
+	}
+	// Strip roots at the origin exactly: they are common in transfer
+	// functions (zeros at DC) and slow the iteration.
+	zeroRoots := 0
+	for len(p) > 1 && p[0] == 0 {
+		p = p[1:]
+		zeroRoots++
+	}
+	n = len(p) - 1
+	roots := make([]complex128, 0, n+zeroRoots)
+	for i := 0; i < zeroRoots; i++ {
+		roots = append(roots, 0)
+	}
+	if n < 1 {
+		return roots
+	}
+	c := make([]complex128, len(p))
+	lead := p[len(p)-1]
+	for i, v := range p {
+		c[i] = complex(v/lead, 0)
+	}
+	// Initial guesses on a circle with radius from the Cauchy bound,
+	// slightly detuned to break symmetry.
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		if a := math.Abs(real(c[i])); a > radius {
+			radius = a
+		}
+	}
+	radius = 1 + radius
+	z := make([]complex128, n)
+	for i := range z {
+		theta := 2*math.Pi*float64(i)/float64(n) + 0.4
+		z[i] = complex(radius*math.Cos(theta), radius*math.Sin(theta))
+	}
+	evalMonic := func(x complex128) complex128 {
+		var acc complex128
+		for i := len(c) - 1; i >= 0; i-- {
+			acc = acc*x + c[i]
+		}
+		return acc
+	}
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range z {
+			num := evalMonic(z[i])
+			den := complex(1, 0)
+			for j := range z {
+				if j != i {
+					den *= z[i] - z[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident estimates.
+				z[i] += complex(1e-6, 1e-6)
+				continue
+			}
+			step := num / den
+			z[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-13*(1+radius) {
+			break
+		}
+	}
+	// Polish: snap near-real roots onto the axis (transfer functions of
+	// RC circuits have real poles; tiny imaginary dust confuses reports).
+	for i := range z {
+		if math.Abs(imag(z[i])) < 1e-9*(1+math.Abs(real(z[i]))) {
+			z[i] = complex(real(z[i]), 0)
+		}
+	}
+	return append(roots, z...)
+}
+
+// FromRoots builds the monic polynomial with the given roots, discarding
+// any residual imaginary part (callers pass conjugate pairs).
+func FromRoots(roots ...complex128) Poly {
+	acc := []complex128{1}
+	for _, r := range roots {
+		next := make([]complex128, len(acc)+1)
+		for i, a := range acc {
+			next[i] -= a * r
+			next[i+1] += a
+		}
+		acc = next
+	}
+	out := make(Poly, len(acc))
+	for i, v := range acc {
+		out[i] = real(v)
+	}
+	return out.Trim()
+}

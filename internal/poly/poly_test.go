@@ -1,0 +1,182 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithmetic(t *testing.T) {
+	p := New(1, 2)    // 1 + 2s
+	q := New(3, 0, 1) // 3 + s²
+	sum := p.Add(q)
+	want := New(4, 2, 1)
+	if len(sum) != len(want) {
+		t.Fatalf("Add len = %d, want %d", len(sum), len(want))
+	}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Fatalf("Add[%d] = %g, want %g", i, sum[i], want[i])
+		}
+	}
+	prod := p.Mul(q) // (1+2s)(3+s²) = 3 + 6s + s² + 2s³
+	wantP := New(3, 6, 1, 2)
+	for i := range wantP {
+		if prod[i] != wantP[i] {
+			t.Fatalf("Mul[%d] = %g, want %g", i, prod[i], wantP[i])
+		}
+	}
+	if d := p.Sub(p); !d.IsZero() {
+		t.Fatalf("p-p = %v, want zero", d)
+	}
+}
+
+func TestTrimDegree(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if p.Degree() != 1 {
+		t.Fatalf("Degree = %d, want 1", p.Degree())
+	}
+	if New().Degree() != -1 {
+		t.Fatal("zero poly degree should be -1")
+	}
+	if !(Poly{0, 0}).Trim().IsZero() {
+		t.Fatal("Trim should yield zero poly")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := New(1, -3, 2) // 1 - 3x + 2x² ; roots 0.5 and 1
+	if v := p.EvalReal(1); v != 0 {
+		t.Fatalf("p(1) = %g, want 0", v)
+	}
+	if v := p.EvalReal(0.5); math.Abs(v) > 1e-15 {
+		t.Fatalf("p(0.5) = %g, want 0", v)
+	}
+	if v := p.Eval(complex(2, 0)); cmplx.Abs(v-3) > 1e-15 {
+		t.Fatalf("p(2) = %v, want 3", v)
+	}
+}
+
+func TestDeriv(t *testing.T) {
+	p := New(5, 3, 0, 7) // 5 + 3x + 7x³
+	d := p.Deriv()       // 3 + 21x²
+	want := New(3, 0, 21)
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Deriv[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	if New(4).Deriv() != nil {
+		t.Fatal("constant deriv should be zero poly")
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// (x-2)(x+5) = x² + 3x - 10
+	p := New(-10, 3, 1)
+	roots := p.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2", len(roots))
+	}
+	sort.Slice(roots, func(i, j int) bool { return real(roots[i]) < real(roots[j]) })
+	if cmplx.Abs(roots[0]-complex(-5, 0)) > 1e-8 || cmplx.Abs(roots[1]-complex(2, 0)) > 1e-8 {
+		t.Fatalf("roots = %v, want [-5 2]", roots)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// x² + 1 → ±j
+	p := New(1, 0, 1)
+	roots := p.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	for _, r := range roots {
+		if math.Abs(real(r)) > 1e-8 || math.Abs(math.Abs(imag(r))-1) > 1e-8 {
+			t.Fatalf("root %v not ±j", r)
+		}
+	}
+}
+
+func TestRootsAtOrigin(t *testing.T) {
+	// x²(x-3) = x³ - 3x²
+	p := New(0, 0, -3, 1)
+	roots := p.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("got %d roots, want 3", len(roots))
+	}
+	zeroCount := 0
+	threeFound := false
+	for _, r := range roots {
+		if r == 0 {
+			zeroCount++
+		}
+		if cmplx.Abs(r-3) < 1e-8 {
+			threeFound = true
+		}
+	}
+	if zeroCount != 2 || !threeFound {
+		t.Fatalf("roots = %v, want two zeros and a 3", roots)
+	}
+}
+
+// Property: FromRoots followed by Roots recovers the root multiset for
+// well-separated real roots.
+func TestRootsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%4 + 1
+		r := rand.New(rand.NewSource(seed))
+		// Well-separated real roots in [-10, 10].
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = float64(i*7) - 10 + r.Float64()
+		}
+		var croots []complex128
+		for _, w := range want {
+			croots = append(croots, complex(w, 0))
+		}
+		p := FromRoots(croots...)
+		got := p.Roots()
+		if len(got) != n {
+			return false
+		}
+		gr := make([]float64, n)
+		for i, g := range got {
+			if math.Abs(imag(g)) > 1e-6 {
+				return false
+			}
+			gr[i] = real(g)
+		}
+		sort.Float64s(gr)
+		sort.Float64s(want)
+		for i := range want {
+			if math.Abs(gr[i]-want[i]) > 1e-5*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonic(t *testing.T) {
+	p := New(2, 4).Monic()
+	if p[1] != 1 || p[0] != 0.5 {
+		t.Fatalf("Monic = %v", p)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(1, 2, 3).String(); s != "1 + 2·s + 3·s^2" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := New().String(); s != "0" {
+		t.Fatalf("zero String = %q", s)
+	}
+}

@@ -1,0 +1,224 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Rat is a rational function Num(s)/Den(s). The zero value is invalid;
+// use NewRat or the arithmetic methods, which keep Den non-zero.
+type Rat struct {
+	Num, Den Poly
+}
+
+// NewRat builds a rational function, normalizing the representation so
+// that the denominator's leading coefficient is positive where possible.
+func NewRat(num, den Poly) (Rat, error) {
+	den = den.Trim()
+	if den.IsZero() {
+		return Rat{}, fmt.Errorf("poly: rational function with zero denominator")
+	}
+	return Rat{Num: num.Trim(), Den: den}.normalize(), nil
+}
+
+// RatConst returns the constant rational function k/1.
+func RatConst(k float64) Rat { return Rat{Num: New(k), Den: New(1)} }
+
+// RatVar returns the rational function s/1 (the Laplace variable itself).
+func RatVar() Rat { return Rat{Num: New(0, 1), Den: New(1)} }
+
+// normalize scales numerator and denominator so the denominator's largest
+// |coefficient| is 1, taming overflow when Mason's rule multiplies many
+// branch gains.
+func (r Rat) normalize() Rat {
+	m := 0.0
+	for _, v := range r.Den {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 || m == 1 {
+		return r
+	}
+	inv := 1 / m
+	return Rat{Num: r.Num.Scale(inv), Den: r.Den.Scale(inv)}
+}
+
+// IsZero reports whether the numerator is identically zero.
+func (r Rat) IsZero() bool { return r.Num.IsZero() }
+
+// Add returns r + q.
+func (r Rat) Add(q Rat) Rat {
+	num := r.Num.Mul(q.Den).Add(q.Num.Mul(r.Den))
+	den := r.Den.Mul(q.Den)
+	return Rat{Num: num, Den: den}.reduceOrigin().normalize()
+}
+
+// Sub returns r − q.
+func (r Rat) Sub(q Rat) Rat { return r.Add(q.Neg()) }
+
+// Neg returns −r.
+func (r Rat) Neg() Rat { return Rat{Num: r.Num.Scale(-1), Den: r.Den} }
+
+// Mul returns r · q.
+func (r Rat) Mul(q Rat) Rat {
+	return Rat{Num: r.Num.Mul(q.Num), Den: r.Den.Mul(q.Den)}.reduceOrigin().normalize()
+}
+
+// Div returns r / q; it panics if q is identically zero, mirroring the
+// arithmetic error it would be in a hand-derived transfer function.
+func (r Rat) Div(q Rat) Rat {
+	if q.Num.IsZero() {
+		panic("poly: division by zero rational function")
+	}
+	return Rat{Num: r.Num.Mul(q.Den), Den: r.Den.Mul(q.Num)}.reduceOrigin().normalize()
+}
+
+// Scale returns k·r.
+func (r Rat) Scale(k float64) Rat { return Rat{Num: r.Num.Scale(k), Den: r.Den} }
+
+// reduceOrigin cancels common factors of s (roots at the origin), the only
+// exact cancellation that shows up systematically in circuit algebra.
+func (r Rat) reduceOrigin() Rat {
+	n, d := r.Num, r.Den
+	for len(n) > 1 && len(d) > 1 && n[0] == 0 && d[0] == 0 {
+		n, d = n[1:], d[1:]
+	}
+	if len(n) == 0 {
+		// Zero numerator: fix denominator to 1 for canonical form.
+		return Rat{Num: nil, Den: New(1)}
+	}
+	return Rat{Num: n, Den: d}
+}
+
+// Eval evaluates r at the complex frequency s.
+func (r Rat) Eval(s complex128) complex128 {
+	d := r.Den.Eval(s)
+	if d == 0 {
+		return cmplx.Inf()
+	}
+	return r.Num.Eval(s) / d
+}
+
+// EvalJW evaluates r at s = jω.
+func (r Rat) EvalJW(omega float64) complex128 { return r.Eval(complex(0, omega)) }
+
+// DCGain returns r(0); infinite if the denominator has a root at 0.
+func (r Rat) DCGain() float64 {
+	if len(r.Den) == 0 || r.Den[0] == 0 {
+		return math.Inf(1)
+	}
+	if len(r.Num) == 0 {
+		return 0
+	}
+	return r.Num[0] / r.Den[0]
+}
+
+// Poles returns the denominator roots sorted by ascending magnitude.
+func (r Rat) Poles() []complex128 { return sortedRoots(r.Den) }
+
+// Zeros returns the numerator roots sorted by ascending magnitude.
+func (r Rat) Zeros() []complex128 { return sortedRoots(r.Num) }
+
+func sortedRoots(p Poly) []complex128 {
+	roots := p.Roots()
+	sort.Slice(roots, func(i, j int) bool {
+		return cmplx.Abs(roots[i]) < cmplx.Abs(roots[j])
+	})
+	return roots
+}
+
+// String renders the rational function as "(num)/(den)".
+func (r Rat) String() string {
+	return fmt.Sprintf("(%s)/(%s)", r.Num.String(), r.Den.String())
+}
+
+// Bode characterization extracted from a rational transfer function.
+type Bode struct {
+	DCGainDB    float64 // 20·log10 |H(0)|
+	UnityGainHz float64 // frequency where |H| crosses 1 (0 if never)
+	PhaseMargin float64 // degrees, 180 + phase at unity-gain crossing
+	Pole3DBHz   float64 // -3 dB bandwidth relative to DC gain (0 if none found)
+}
+
+// Characterize sweeps the transfer function logarithmically between fLo and
+// fHi (Hz) and extracts classical stability/bandwidth metrics. It is the
+// "equation side" analogue of an AC simulation: evaluating a Rat at a few
+// hundred points costs microseconds.
+func (r Rat) Characterize(fLo, fHi float64, pointsPerDecade int) Bode {
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 50
+	}
+	var b Bode
+	dc := math.Abs(r.DCGain())
+	if math.IsInf(dc, 0) {
+		// Integrator-like: sample near fLo for a reference gain.
+		dc = cmplx.Abs(r.EvalJW(2 * math.Pi * fLo))
+	}
+	if dc > 0 {
+		b.DCGainDB = 20 * math.Log10(dc)
+	} else {
+		b.DCGainDB = math.Inf(-1)
+	}
+	decades := math.Log10(fHi / fLo)
+	n := int(decades*float64(pointsPerDecade)) + 1
+	if n < 2 {
+		n = 2
+	}
+	prevMag, prevPhase, prevF := math.NaN(), 0.0, 0.0
+	target3db := dc / math.Sqrt2
+	for i := 0; i < n; i++ {
+		f := fLo * math.Pow(10, decades*float64(i)/float64(n-1))
+		h := r.EvalJW(2 * math.Pi * f)
+		mag := cmplx.Abs(h)
+		phase := cmplx.Phase(h) * 180 / math.Pi
+		if !math.IsNaN(prevMag) {
+			if b.Pole3DBHz == 0 && prevMag >= target3db && mag < target3db {
+				b.Pole3DBHz = interpCross(prevF, f, prevMag, mag, target3db)
+			}
+			if b.UnityGainHz == 0 && prevMag >= 1 && mag < 1 {
+				b.UnityGainHz = interpCross(prevF, f, prevMag, mag, 1)
+				// Unwrap phase continuation from the previous point for PM.
+				ph := phase
+				for ph-prevPhase > 180 {
+					ph -= 360
+				}
+				for ph-prevPhase < -180 {
+					ph += 360
+				}
+				frac := (b.UnityGainHz - prevF) / (f - prevF)
+				phAt := prevPhase + frac*(ph-prevPhase)
+				pm := 180 + phAt
+				for pm > 360 {
+					pm -= 360
+				}
+				for pm < -360 {
+					pm += 360
+				}
+				b.PhaseMargin = pm
+			}
+			// Track unwrapped phase.
+			for phase-prevPhase > 180 {
+				phase -= 360
+			}
+			for phase-prevPhase < -180 {
+				phase += 360
+			}
+		}
+		prevMag, prevPhase, prevF = mag, phase, f
+	}
+	return b
+}
+
+// interpCross linearly interpolates (in log-f) the frequency where the
+// magnitude crosses the target between two samples.
+func interpCross(f0, f1, m0, m1, target float64) float64 {
+	if m0 == m1 {
+		return f0
+	}
+	frac := (m0 - target) / (m0 - m1)
+	lf := math.Log10(f0) + frac*(math.Log10(f1)-math.Log10(f0))
+	return math.Pow(10, lf)
+}

@@ -1,0 +1,191 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratApprox(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol*(1+cmplx.Abs(a)+cmplx.Abs(b))
+}
+
+func TestRatBasics(t *testing.T) {
+	// H(s) = 10 / (1 + s/1000): single-pole low-pass.
+	h, err := NewRat(New(10), New(1, 1.0/1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := h.DCGain(); math.Abs(g-10) > 1e-12 {
+		t.Fatalf("DCGain = %g, want 10", g)
+	}
+	// At the pole frequency the magnitude drops by √2.
+	m := cmplx.Abs(h.EvalJW(1000))
+	if math.Abs(m-10/math.Sqrt2) > 1e-9 {
+		t.Fatalf("|H(jωp)| = %g, want %g", m, 10/math.Sqrt2)
+	}
+	poles := h.Poles()
+	if len(poles) != 1 || cmplx.Abs(poles[0]-complex(-1000, 0)) > 1e-6 {
+		t.Fatalf("poles = %v, want [-1000]", poles)
+	}
+}
+
+func TestRatZeroDenominator(t *testing.T) {
+	if _, err := NewRat(New(1), New()); err == nil {
+		t.Fatal("expected error for zero denominator")
+	}
+}
+
+func TestRatArithmetic(t *testing.T) {
+	a := RatConst(2)
+	s := RatVar()
+	// H = 2/(s+2) built as 2 · (1/(s+2))
+	one := RatConst(1)
+	h := a.Mul(one.Div(s.Add(RatConst(2))))
+	if g := h.DCGain(); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("DCGain = %g, want 1", g)
+	}
+	// Sum of partial fractions: 1/(s+1) + 1/(s+2) = (2s+3)/((s+1)(s+2))
+	f1 := one.Div(s.Add(RatConst(1)))
+	f2 := one.Div(s.Add(RatConst(2)))
+	sum := f1.Add(f2)
+	for _, fr := range []float64{0.1, 1, 3, 10} {
+		sp := complex(0, fr)
+		want := 1/(sp+1) + 1/(sp+2)
+		if !ratApprox(sum.Eval(sp), want, 1e-10) {
+			t.Fatalf("sum mismatch at %v: %v vs %v", sp, sum.Eval(sp), want)
+		}
+	}
+}
+
+func TestRatSubNegDiv(t *testing.T) {
+	s := RatVar()
+	h := s.Sub(s)
+	if !h.IsZero() {
+		t.Fatalf("s-s = %v, want 0", h)
+	}
+	n := RatConst(3).Neg()
+	if g := n.DCGain(); g != -3 {
+		t.Fatalf("Neg DCGain = %g", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero rat should panic")
+		}
+	}()
+	_ = RatConst(1).Div(Rat{Num: nil, Den: New(1)})
+}
+
+func TestReduceOrigin(t *testing.T) {
+	// s/(s·(s+1)) should reduce to 1/(s+1).
+	s := RatVar()
+	den := s.Mul(s.Add(RatConst(1)))
+	h := s.Div(den)
+	if g := h.DCGain(); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("DCGain after origin-cancel = %g, want 1", g)
+	}
+}
+
+// Property: Add/Mul of random rationals agree with pointwise complex
+// arithmetic away from poles.
+func TestRatFieldProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		randRat := func() Rat {
+			num := New(r.Float64()*4-2, r.Float64()*4-2)
+			den := New(r.Float64()*4+1, r.Float64()*2+0.5) // keeps poles left of origin-ish
+			q, _ := NewRat(num, den)
+			return q
+		}
+		a, b := randRat(), randRat()
+		pt := complex(0, 0.7+r.Float64())
+		sum := a.Add(b).Eval(pt)
+		prod := a.Mul(b).Eval(pt)
+		wantSum := a.Eval(pt) + b.Eval(pt)
+		wantProd := a.Eval(pt) * b.Eval(pt)
+		return ratApprox(sum, wantSum, 1e-9) && ratApprox(prod, wantProd, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharacterizeSinglePole(t *testing.T) {
+	// H = 1000/(1+s/ωp), fp = 1 kHz → unity gain at ~1 MHz, PM ≈ 90°.
+	fp := 1e3
+	h, _ := NewRat(New(1000), New(1, 1/(2*math.Pi*fp)))
+	b := h.Characterize(1, 1e9, 100)
+	if math.Abs(b.DCGainDB-60) > 0.01 {
+		t.Fatalf("DCGainDB = %g, want 60", b.DCGainDB)
+	}
+	if math.Abs(b.Pole3DBHz-fp)/fp > 0.05 {
+		t.Fatalf("Pole3DBHz = %g, want ≈ %g", b.Pole3DBHz, fp)
+	}
+	if math.Abs(b.UnityGainHz-1e6)/1e6 > 0.05 {
+		t.Fatalf("UnityGainHz = %g, want ≈ 1e6", b.UnityGainHz)
+	}
+	if math.Abs(b.PhaseMargin-90) > 3 {
+		t.Fatalf("PhaseMargin = %g, want ≈ 90", b.PhaseMargin)
+	}
+}
+
+func TestCharacterizeTwoPole(t *testing.T) {
+	// Two-pole: second pole at the extrapolated unity-gain frequency. The
+	// actual crossover shifts down to ≈0.786·fu, giving PM ≈ 51.8°
+	// (180 − 90 − atan(0.786)).
+	a0 := 1000.0
+	fp1 := 1e3
+	fu := a0 * fp1 // 1e6
+	h1, _ := NewRat(New(a0), New(1, 1/(2*math.Pi*fp1)))
+	h2, _ := NewRat(New(1), New(1, 1/(2*math.Pi*fu)))
+	h := h1.Mul(h2)
+	b := h.Characterize(1, 1e9, 200)
+	if math.Abs(b.PhaseMargin-51.8) > 3 {
+		t.Fatalf("PhaseMargin = %g, want ≈ 51.8", b.PhaseMargin)
+	}
+	if b.UnityGainHz > fu || b.UnityGainHz < 0.5*fu {
+		t.Fatalf("UnityGainHz = %g, want slightly below %g", b.UnityGainHz, fu)
+	}
+}
+
+func TestRatString(t *testing.T) {
+	h, _ := NewRat(New(1), New(1, 1))
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRatScaleZerosClone(t *testing.T) {
+	h, _ := NewRat(New(0, 2), New(1, 1)) // 2s/(1+s): zero at origin
+	s2 := h.Scale(3)
+	if g := s2.Eval(complex(1, 0)); cmplxAbsDiff(g, complex(3, 0)) > 1e-12 {
+		t.Fatalf("Scale: H(1) = %v, want 3", g)
+	}
+	zeros := h.Zeros()
+	if len(zeros) != 1 || cmplxAbsDiff(zeros[0], 0) > 1e-9 {
+		t.Fatalf("zeros = %v, want [0]", zeros)
+	}
+	p := New(1, 2, 3)
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone aliased the backing array")
+	}
+	// DCGain of an integrator is +Inf; of a zero numerator, 0.
+	integ, _ := NewRat(New(1), New(0, 1))
+	if !math.IsInf(integ.DCGain(), 1) {
+		t.Fatalf("integrator DCGain = %g", integ.DCGain())
+	}
+	null, _ := NewRat(New(), New(1))
+	if g := null.DCGain(); g != 0 {
+		t.Fatalf("zero rat DCGain = %g", g)
+	}
+}
+
+func cmplxAbsDiff(a, b complex128) float64 {
+	d := a - b
+	return math.Hypot(real(d), imag(d))
+}

@@ -1,0 +1,222 @@
+// Package report renders study results as aligned text tables, ASCII bar
+// charts and CSV — the forms in which the reproduction regenerates the
+// paper's figures (per-stage power bars for Fig. 1, per-candidate totals
+// for Fig. 2, the decision-rule table for Fig. 3).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/units"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, w2 := range widths {
+		total += w2 + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as comma-separated values (naive quoting: cells
+// containing commas are double-quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders labeled horizontal bars scaled to maxWidth characters.
+func BarChart(w io.Writer, title string, labels []string, values []float64, unit string, maxWidth int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("report: %d labels vs %d values", len(labels), len(values))
+	}
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(maxWidth))
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s %s %s\n",
+			maxL, labels[i], strings.Repeat("█", n)+strings.Repeat(" ", maxWidth-n),
+			units.Format(v, unit)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig1 renders the per-stage power chart of a study (paper Fig. 1): one
+// row per candidate, stage powers in milliwatts.
+func Fig1(w io.Writer, st *core.Study) error {
+	fmt.Fprintf(w, "Fig. 1 — stage power for the %d-bit ADC configurations (%s)\n",
+		st.Bits, units.Format(st.SampleRate, "SPS"))
+	t := &Table{Header: []string{"config", "stage", "bits", "MDAC", "sub-ADC", "total", "feasible"}}
+	for _, c := range st.Candidates {
+		for _, s := range c.Stages {
+			t.Add(c.Config.String(),
+				fmt.Sprintf("%d", s.Stage),
+				fmt.Sprintf("%d", s.Bits),
+				units.Format(s.MDACPower, "W"),
+				units.Format(s.SubADCPower, "W"),
+				units.Format(s.Total, "W"),
+				fmt.Sprintf("%v", s.Feasible))
+		}
+	}
+	return t.Write(w)
+}
+
+// Fig2 renders total leading-stage power per candidate across studies
+// (paper Fig. 2).
+func Fig2(w io.Writer, studies []*core.Study) error {
+	fmt.Fprintln(w, "Fig. 2 — total leading-stage power per candidate")
+	for _, st := range studies {
+		labels := make([]string, 0, len(st.Candidates))
+		values := make([]float64, 0, len(st.Candidates))
+		ordered := append([]core.CandidateResult(nil), st.Candidates...)
+		sort.Slice(ordered, func(i, j int) bool {
+			return ordered[i].Config.String() < ordered[j].Config.String()
+		})
+		for _, c := range ordered {
+			label := c.Config.String()
+			if !c.AllFeasible {
+				label += " (infeasible)"
+			}
+			labels = append(labels, label)
+			values = append(values, c.TotalPower)
+		}
+		title := fmt.Sprintf("%d-bit (best: %s)", st.Bits, st.Best.Config)
+		if err := BarChart(w, title, labels, values, "W", 40); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig3 renders the decision-rule table derived from a sweep (paper Fig. 3).
+func Fig3(w io.Writer, rules []core.Rule) error {
+	fmt.Fprintln(w, "Fig. 3 — optimum candidate enumeration rules")
+	t := &Table{Header: []string{"resolution", "optimum", "first stage", "last stage"}}
+	for _, r := range rules {
+		t.Add(fmt.Sprintf("%d bits", r.Bits), r.Best.String(),
+			fmt.Sprintf("%d bits", r.FirstBits), fmt.Sprintf("%d bits", r.LastBits))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	// The paper's boxed observations, checked against the data.
+	first4 := true
+	last2 := true
+	for _, r := range rules {
+		if r.Bits >= 11 && r.FirstBits != 4 {
+			first4 = false
+		}
+		if r.LastBits != 2 {
+			last2 = false
+		}
+	}
+	fmt.Fprintf(w, "rule: MSB stage is 4-bit for ≥11-bit targets: %v\n", first4)
+	fmt.Fprintf(w, "rule: 2-bit last optimized stage is common:   %v\n", last2)
+	return nil
+}
+
+// MDACTable lists every synthesized design point of a study.
+func MDACTable(w io.Writer, st *core.Study) error {
+	fmt.Fprintf(w, "Synthesized MDAC design points (%d, paper reuse classes: %d)\n",
+		len(st.MDACs), st.PaperMDACClasses)
+	t := &Table{Header: []string{"stage", "bits", "prior", "power", "feasible", "evals", "warm"}}
+	for _, rec := range st.MDACs {
+		warm := "-"
+		if rec.WarmFrom != nil {
+			warm = fmt.Sprintf("s%d/%db", rec.WarmFrom.Stage, rec.WarmFrom.Bits)
+		}
+		t.Add(
+			fmt.Sprintf("%d", rec.Key.Stage),
+			fmt.Sprintf("%d", rec.Key.Bits),
+			fmt.Sprintf("%d", rec.Key.PriorBits),
+			units.Format(rec.Result.Metrics.Power, "W"),
+			fmt.Sprintf("%v", rec.Result.Feasible),
+			fmt.Sprintf("%d", rec.Result.Evals),
+			warm)
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/synth"
+)
+
+func studyFixture(t *testing.T) *core.Study {
+	t.Helper()
+	st, err := core.Optimize(core.Options{
+		Bits: 10, SampleRate: 40e6, Mode: hybrid.EquationOnly,
+		Synth: synth.Options{Seed: 1, MaxEvals: 40, PatternIter: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Header: []string{"a", "long-header", "c"}}
+	tab.Add("x", "y", "z")
+	tab.Add("wide-cell", "1", "2")
+	var sb strings.Builder
+	if err := tab.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Column 2 starts at the same offset in header and rows.
+	hIdx := strings.Index(lines[0], "long-header")
+	rIdx := strings.Index(lines[3], "1")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned: header col at %d, row col at %d\n%s", hIdx, rIdx, sb.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.Add("with,comma", `with"quote`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) || !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("bad quoting: %s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	err := BarChart(&sb, "title", []string{"a", "bb"}, []float64{1e-3, 2e-3}, "W", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "█") {
+		t.Fatalf("chart missing pieces: %s", out)
+	}
+	// The larger bar is longer.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+	if err := BarChart(&sb, "t", []string{"a"}, []float64{1, 2}, "", 0); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	st := studyFixture(t)
+	var sb strings.Builder
+	if err := Fig1(&sb, st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 1") || !strings.Contains(sb.String(), st.Best.Config.String()) {
+		t.Fatalf("Fig1 output incomplete")
+	}
+	sb.Reset()
+	if err := Fig2(&sb, []*core.Study{st}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "10-bit") {
+		t.Fatalf("Fig2 output incomplete: %s", sb.String())
+	}
+	sb.Reset()
+	rules := core.DeriveRules([]*core.Study{st})
+	if err := Fig3(&sb, rules); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "optimum") {
+		t.Fatalf("Fig3 output incomplete")
+	}
+	sb.Reset()
+	if err := MDACTable(&sb, st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "design points") {
+		t.Fatalf("MDACTable output incomplete")
+	}
+}
+
+func TestFig3Rules(t *testing.T) {
+	rules := []core.Rule{
+		{Bits: 13, Best: enum.Config{4, 3, 2}, FirstBits: 4, LastBits: 2},
+		{Bits: 10, Best: enum.Config{3, 2, 2, 2, 2}, FirstBits: 3, LastBits: 2},
+	}
+	var sb strings.Builder
+	if err := Fig3(&sb, rules); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "≥11-bit targets: true") {
+		t.Fatalf("first-stage rule not derived: %s", out)
+	}
+	if !strings.Contains(out, "common:   true") {
+		t.Fatalf("last-stage rule not derived: %s", out)
+	}
+}

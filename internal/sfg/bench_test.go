@@ -1,0 +1,41 @@
+package sfg
+
+import (
+	"fmt"
+	"testing"
+
+	"pipesyn/internal/expr"
+)
+
+// ladder builds an n-node DPI-style chain with local feedback, the shape
+// Mason's rule sees for cascaded amplifier stages.
+func ladder(n int) *Graph {
+	g := New()
+	prev := "in"
+	for i := 0; i < n; i++ {
+		node := fmt.Sprintf("n%d", i)
+		g.AddEdge(prev, node, expr.V(fmt.Sprintf("a%d", i)))
+		g.AddEdge(node, prev, expr.V(fmt.Sprintf("b%d", i))) // local return
+		prev = node
+	}
+	g.AddEdge(prev, "out", expr.One)
+	return g
+}
+
+func BenchmarkMasonLadder6(b *testing.B) {
+	g := ladder(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TransferFunction("in", "out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopEnumerationLadder8(b *testing.B) {
+	g := ladder(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Loops()
+	}
+}

@@ -1,0 +1,81 @@
+// Package sha models the front-end sample-and-hold amplifier of the
+// paper's pipelined ADC architecture. The S/H sees the converter's full
+// resolution: it must sample with the complete kT/C budget share and
+// settle to K-bit accuracy, which usually makes it the single hungriest
+// block. Because every enumeration candidate shares the same S/H, the
+// paper's Fig. 1/2 comparisons exclude it — this package exists so the
+// full-converter power can still be reported, and reuses the stage
+// synthesis machinery by phrasing the S/H as a unity-gain MDAC spec.
+package sha
+
+import (
+	"fmt"
+	"math"
+
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/synth"
+)
+
+// NoiseShare is the fraction of the converter's thermal budget allotted
+// to the front-end sampler (the pipeline stages share the rest; see
+// stagespec's geometric allocation).
+const NoiseShare = 1.0 / 3.0
+
+// Spec derives the S/H block specification from the converter spec.
+// firstStageCS is the sampling capacitor of the pipeline's first stage,
+// which the S/H must drive during its hold phase.
+func Spec(adc stagespec.ADCSpec, firstStageCS float64) (stagespec.MDACSpec, error) {
+	adc.FillDefaults()
+	if err := adc.Validate(); err != nil {
+		return stagespec.MDACSpec{}, err
+	}
+	if firstStageCS <= 0 {
+		return stagespec.MDACSpec{}, fmt.Errorf("sha: non-positive first-stage load")
+	}
+	p := adc.Process
+	lsb := adc.VRef / math.Pow(2, float64(adc.Bits))
+	qNoise := lsb * lsb / 12
+	vnsq := NoiseShare * adc.NoiseFraction * qNoise
+	cs := p.ClampC(p.NoiseCapFor(vnsq))
+
+	tHalf := 1 / (2 * adc.SampleRate)
+	tSettle := adc.SettleFraction * tHalf
+	tSlew := adc.SlewFraction * tHalf
+	eps := math.Pow(2, -float64(adc.Bits+1))
+	ntau := math.Log(1 / eps)
+	fCl := ntau / (2 * math.Pi * tSettle)
+	const beta = 0.5 // flip-around unity sampler: Cs feeds back, Cs samples
+
+	return stagespec.MDACSpec{
+		Stage:     0, // in front of stage 1
+		Bits:      1, // unity transfer: no sub-ADC, no residue gain
+		PriorBits: 0,
+		Gain:      1,
+		Beta:      beta,
+		CSample:   cs,
+		CFeed:     cs,
+		CLoad:     firstStageCS,
+		SettleTol: eps,
+		TSettle:   tSettle,
+		TSlew:     tSlew,
+		GBWMin:    fCl / beta,
+		SRMin:     adc.VRef / tSlew,
+		GainMin:   2 / (eps * beta),
+		SwingMin:  adc.VRef / 2,
+		StepMax:   adc.VRef,
+
+		ComparatorCount: 0,
+		CompOffsetTol:   0,
+	}, nil
+}
+
+// Synthesize sizes the S/H amplifier and returns its power together with
+// the synthesis result. It rides the same optimizer as the MDACs.
+func Synthesize(adc stagespec.ADCSpec, firstStageCS float64, proc *pdk.Process, opts synth.Options) (*synth.Result, error) {
+	sp, err := Spec(adc, firstStageCS)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Synthesize(sp, proc, opts)
+}

@@ -1,0 +1,93 @@
+package sha
+
+import (
+	"math"
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+	"pipesyn/internal/synth"
+)
+
+func adc(bits int) stagespec.ADCSpec {
+	return stagespec.ADCSpec{Bits: bits, SampleRate: 40e6, VRef: 1}
+}
+
+func TestSpecBasics(t *testing.T) {
+	sp, err := Spec(adc(13), 3e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Gain != 1 || sp.Beta != 0.5 || sp.ComparatorCount != 0 {
+		t.Fatalf("spec = %+v", sp)
+	}
+	// Full-resolution settling: ε = 2^-14.
+	if math.Abs(sp.SettleTol-math.Pow(2, -14)) > 1e-15 {
+		t.Fatalf("ε = %g", sp.SettleTol)
+	}
+	if sp.CLoad != 3e-12 {
+		t.Fatalf("CLoad = %g", sp.CLoad)
+	}
+	// The S/H sampling cap must exceed any pipeline stage's (it carries a
+	// third of the full budget with no preceding gain).
+	specs, err := stagespec.Translate(adc(13), enum.Config{4, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.CSample < specs[0].CSample/4 {
+		t.Fatalf("S/H cap %g implausibly small vs stage-1 %g", sp.CSample, specs[0].CSample)
+	}
+}
+
+func TestSpecScalesWithResolution(t *testing.T) {
+	lo, err := Spec(adc(10), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Spec(adc(13), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.CSample <= lo.CSample || hi.GainMin <= lo.GainMin || hi.GBWMin <= lo.GBWMin {
+		t.Fatalf("13-bit S/H must be harder than 10-bit: %+v vs %+v", hi, lo)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := Spec(adc(13), 0); err == nil {
+		t.Fatal("expected load error")
+	}
+	if _, err := Spec(stagespec.ADCSpec{Bits: 13}, 1e-12); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSynthesizeSHA(t *testing.T) {
+	// A 10-bit S/H synthesizes to a feasible amp in equation mode
+	// (hybrid mode is exercised by the core integration tests).
+	a := adc(10)
+	res, err := Synthesize(a, 1e-12, pdk.TSMC025(), synth.Options{
+		Seed: 5, MaxEvals: 300, PatternIter: 150, Mode: hybrid.EquationOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Power <= 0 {
+		t.Fatalf("power = %g", res.Metrics.Power)
+	}
+}
+
+func TestSynthesizeSHAHybrid(t *testing.T) {
+	a := adc(8)
+	res, err := Synthesize(a, 0.5e-12, pdk.TSMC025(), synth.Options{
+		Seed: 6, MaxEvals: 60, PatternIter: 40, Mode: hybrid.Hybrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Power <= 0 || res.Metrics.AmpGain < 100 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestACRCLowpass(t *testing.T) {
+	c := mustParse(t, `* rc lowpass, fp = 1/(2π·10k·1.59n) ≈ 10 kHz
+V1 in 0 DC 0 AC 1
+R1 in out 10k
+C1 out 0 1.59155n
+`)
+	op := mustOP(t, c, DCOpts{})
+	ac, err := AC(c, op, ACOpts{FStart: 10, FStop: 10e6, PointsPerDecade: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ac.Characterize("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.DCGainDB) > 0.05 {
+		t.Fatalf("DC gain = %g dB, want 0", m.DCGainDB)
+	}
+	if math.Abs(m.F3DBHz-10e3)/10e3 > 0.03 {
+		t.Fatalf("f3dB = %g, want ≈10k", m.F3DBHz)
+	}
+	// Phase at the pole is −45°.
+	h, _ := ac.Transfer("out")
+	idx := 0
+	for i, f := range ac.Freqs {
+		if math.Abs(f-10e3) < math.Abs(ac.Freqs[idx]-10e3) {
+			idx = i
+		}
+	}
+	ph := cmplx.Phase(h[idx]) * 180 / math.Pi
+	if math.Abs(ph+45) > 3 {
+		t.Fatalf("phase at pole = %g, want −45", ph)
+	}
+}
+
+func TestACCommonSourceGain(t *testing.T) {
+	// Common-source with resistive load: |Av| = gm·(RD∥ro) at low f.
+	c := mustParse(t, `* cs amp
+V1 vdd 0 DC 3.3
+VG g 0 DC 0.9 AC 1
+RD vdd d 2k
+M1 d g 0 0 nch W=20u L=0.5u
+.model nch nmos (vto=0.45 kp=180u lambda=0.05 gamma=0)
+`)
+	op := mustOP(t, c, DCOpts{})
+	mos := op.MOS["m1"]
+	want := mos.GM * parallel(2e3, 1/mos.GDS)
+	ac, err := AC(c, op, ACOpts{FStart: 100, FStop: 10e9, PointsPerDecade: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ac.Transfer("d")
+	got := cmplx.Abs(h[0])
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("|Av| = %g, want %g", got, want)
+	}
+	// Gain must roll off at high frequency due to device caps.
+	if hi := cmplx.Abs(h[len(h)-1]); hi > got/2 {
+		t.Fatalf("no rolloff: |Av(10GHz)| = %g vs %g", hi, got)
+	}
+}
+
+func parallel(a, b float64) float64 { return a * b / (a + b) }
+
+func TestACVCVSIdealAmp(t *testing.T) {
+	c := mustParse(t, `* E source is frequency-flat
+V1 in 0 AC 1
+R1 in 0 1k
+E1 out 0 in 0 42
+R2 out 0 1k
+`)
+	op := mustOP(t, c, DCOpts{})
+	ac, err := AC(c, op, ACOpts{FStart: 1, FStop: 1e6, PointsPerDecade: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ac.Transfer("out")
+	for i, v := range h {
+		if math.Abs(cmplx.Abs(v)-42) > 1e-6 {
+			t.Fatalf("|H(%g)| = %g, want 42", ac.Freqs[i], cmplx.Abs(v))
+		}
+	}
+}
+
+func TestACCurrentSourceStimulus(t *testing.T) {
+	c := mustParse(t, `* 1A AC into 1k = 1kV response (linearity check)
+I1 0 out AC 1
+R1 out 0 1k
+`)
+	op := mustOP(t, c, DCOpts{})
+	ac, err := AC(c, op, ACOpts{FStart: 1, FStop: 100, PointsPerDecade: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ac.Transfer("out")
+	if math.Abs(cmplx.Abs(h[0])-1000) > 1e-6 {
+		t.Fatalf("|Z| = %g, want 1000", cmplx.Abs(h[0]))
+	}
+}
+
+func TestACErrors(t *testing.T) {
+	c := mustParse(t, "V1 in 0 AC 1\nR1 in 0 1k\n")
+	op := mustOP(t, c, DCOpts{})
+	if _, err := AC(c, op, ACOpts{FStart: 0, FStop: 1e6}); err == nil {
+		t.Fatal("expected bad-range error")
+	}
+	if _, err := AC(c, op, ACOpts{FStart: 1e6, FStop: 1}); err == nil {
+		t.Fatal("expected inverted-range error")
+	}
+	ac, err := AC(c, op, ACOpts{FStart: 1, FStop: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Transfer("ghost"); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+}
+
+func TestGainPhaseUnwrap(t *testing.T) {
+	// Construct a response that crosses ±180° and verify monotone unwrap.
+	h := []complex128{
+		cmplx.Rect(1, 3.0),
+		cmplx.Rect(1, 3.1),
+		cmplx.Rect(1, -3.1), // wrapped
+		cmplx.Rect(1, -3.0),
+	}
+	_, ph := GainPhase(h)
+	for i := 1; i < len(ph); i++ {
+		if math.Abs(ph[i]-ph[i-1]) > 90 {
+			t.Fatalf("phase jump at %d: %v", i, ph)
+		}
+	}
+}
+
+func TestACSwitchPhaseMatters(t *testing.T) {
+	deck := `* switched divider
+V1 in 0 DC 0 AC 1
+S1 in out swm phase=1
+R1 out 0 1k
+.model swm sw (ron=1k roff=1e12)
+`
+	c := mustParse(t, deck)
+	op := mustOP(t, c, DCOpts{SwitchPhase: 1})
+	on, err := AC(c, op, ACOpts{FStart: 1, FStop: 10, SwitchPhase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := AC(c, op, ACOpts{FStart: 1, FStop: 10, SwitchPhase: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOn, _ := on.Transfer("out")
+	hOff, _ := off.Transfer("out")
+	if cmplx.Abs(hOn[0]) < 0.45 || cmplx.Abs(hOff[0]) > 1e-6 {
+		t.Fatalf("switch phases: on=%g off=%g", cmplx.Abs(hOn[0]), cmplx.Abs(hOff[0]))
+	}
+}
+
+// Property: AC analysis is linear in the stimulus — scaling the source
+// magnitude scales every node response by the same factor.
+func TestACLinearityProperty(t *testing.T) {
+	deck := `* linearity
+V1 in 0 DC 0.9 AC %g
+R1 in g 100
+RD vdd d 2k
+V2 vdd 0 DC 3.3
+M1 d g 0 0 nch W=20u L=0.5u
+CL d 0 100f
+.model nch nmos (vto=0.45 kp=180u)
+`
+	run := func(mag float64) []complex128 {
+		c := mustParse(t, fmt.Sprintf(deck, mag))
+		op := mustOP(t, c, DCOpts{})
+		ac, err := AC(c, op, ACOpts{FStart: 1e4, FStop: 1e9, PointsPerDecade: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := ac.Transfer("d")
+		return h
+	}
+	h1 := run(1)
+	h3 := run(3)
+	for i := range h1 {
+		if cmplx.Abs(h3[i]-3*h1[i]) > 1e-9*(1+cmplx.Abs(h1[i])) {
+			t.Fatalf("AC not linear at index %d: %v vs 3×%v", i, h3[i], h1[i])
+		}
+	}
+}

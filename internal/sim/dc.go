@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pipesyn/internal/device"
+	"pipesyn/internal/la"
+	"pipesyn/internal/netlist"
+)
+
+// DCOpts tunes the operating-point solver.
+type DCOpts struct {
+	MaxIter     int     // Newton iterations per continuation step (default 150)
+	VNTol       float64 // absolute voltage tolerance (default 1 µV)
+	RelTol      float64 // relative tolerance (default 1e-3)
+	Gmin        float64 // floor conductance from every node to ground (default 1e-12)
+	VLimit      float64 // max Newton voltage step (default 0.5 V)
+	SwitchPhase int     // which clock phase is active for clocked switches (0 = none)
+}
+
+func (o *DCOpts) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 150
+	}
+	if o.VNTol == 0 {
+		o.VNTol = 1e-6
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 1e-3
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.VLimit == 0 {
+		o.VLimit = 0.5
+	}
+}
+
+// DCResult is a converged operating point.
+type DCResult struct {
+	V          map[string]float64   // node voltages
+	MOS        map[string]device.OP // per-transistor operating points
+	BranchI    map[string]float64   // currents through V/E elements
+	Iterations int                  // total Newton iterations spent
+	x          []float64
+	layout     *Layout
+}
+
+// Voltage returns a node voltage (0 for ground, error for unknown nodes).
+func (r *DCResult) Voltage(node string) (float64, error) {
+	if isGround(node) {
+		return 0, nil
+	}
+	v, ok := r.V[node]
+	if !ok {
+		return 0, fmt.Errorf("sim: no node %q in solution", node)
+	}
+	return v, nil
+}
+
+// SupplyPower sums V·I over DC voltage sources, giving the static power
+// drawn from the supplies (positive = dissipated in the circuit).
+func (r *DCResult) SupplyPower(c *netlist.Circuit) float64 {
+	p := 0.0
+	for _, e := range c.Elements {
+		if e.Type != netlist.VSource || e.Src == nil {
+			continue
+		}
+		if i, ok := r.BranchI[e.Name]; ok {
+			// Branch current flows from + terminal through the source;
+			// a source delivering power has V·I < 0 in MNA convention.
+			p -= e.Src.DC * i
+		}
+	}
+	return p
+}
+
+// OP computes the DC operating point. It first tries plain Newton from a
+// flat start; on failure it walks a gmin-stepping ladder, then source
+// stepping, mirroring Berkeley SPICE's continuation strategy.
+func OP(c *netlist.Circuit, opts DCOpts) (*DCResult, error) {
+	opts.defaults()
+	cc, err := compile(c)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, cc.layout.Size)
+	totalIter := 0
+
+	try := func(x0 []float64, gmin, srcScale float64) ([]float64, int, error) {
+		return newton(cc, x0, gmin, srcScale, opts)
+	}
+
+	// 1. Plain Newton.
+	if sol, n, err := try(x, opts.Gmin, 1); err == nil {
+		totalIter += n
+		return finishDC(cc, sol, totalIter), nil
+	} else {
+		totalIter += n
+	}
+
+	// 2. Gmin stepping: solve with a heavy shunt everywhere, then relax.
+	xg := make([]float64, cc.layout.Size)
+	ok := true
+	for _, g := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, opts.Gmin} {
+		sol, n, err := try(xg, g, 1)
+		totalIter += n
+		if err != nil {
+			ok = false
+			break
+		}
+		xg = sol
+	}
+	if ok {
+		return finishDC(cc, xg, totalIter), nil
+	}
+
+	// 3. Source stepping: ramp every independent source from 10% to 100%.
+	xs := make([]float64, cc.layout.Size)
+	for _, scale := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		sol, n, err := try(xs, opts.Gmin, scale)
+		totalIter += n
+		if err != nil {
+			return nil, fmt.Errorf("sim: DC failed to converge (newton, gmin and source stepping exhausted) at scale %g: %v", scale, err)
+		}
+		xs = sol
+	}
+	return finishDC(cc, xs, totalIter), nil
+}
+
+func finishDC(cc *compiled, x []float64, iters int) *DCResult {
+	r := &DCResult{
+		V:       map[string]float64{},
+		MOS:     map[string]device.OP{},
+		BranchI: map[string]float64{},
+		x:       x,
+		layout:  cc.layout,
+	}
+	for name, i := range cc.layout.NodeIndex {
+		r.V[name] = x[i]
+	}
+	for name, i := range cc.layout.BranchIndex {
+		r.BranchI[name] = x[i]
+	}
+	for _, e := range cc.circuit.Elements {
+		if e.Type == netlist.MOS {
+			p := cc.mos[e.Name]
+			vd := cc.layout.Voltage(x, e.Nodes[0])
+			vg := cc.layout.Voltage(x, e.Nodes[1])
+			vs := cc.layout.Voltage(x, e.Nodes[2])
+			vb := cc.layout.Voltage(x, e.Nodes[3])
+			r.MOS[e.Name] = p.Eval(vd, vg, vs, vb)
+		}
+	}
+	r.Iterations = iters
+	return r
+}
+
+// newton runs damped Newton–Raphson until the voltage update is below
+// tolerance. srcScale scales independent sources (for source stepping).
+func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]float64, int, error) {
+	n := cc.layout.Size
+	x := append([]float64(nil), x0...)
+	a := la.NewMatrix(n, n)
+	b := make([]float64, n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		a.Zero()
+		for i := range b {
+			b[i] = 0
+		}
+		stampDC(cc, a, b, x, gmin, srcScale, opts.SwitchPhase)
+		f, err := la.Factor(a)
+		if err != nil {
+			return nil, iter, fmt.Errorf("sim: singular MNA matrix: %w", err)
+		}
+		xNew := f.Solve(b)
+		// Damped update: limit the largest node-voltage change.
+		maxDelta := 0.0
+		for i := 0; i < len(cc.layout.Nodes); i++ {
+			if d := math.Abs(xNew[i] - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		alpha := 1.0
+		if maxDelta > opts.VLimit {
+			alpha = opts.VLimit / maxDelta
+		}
+		converged := true
+		for i := range x {
+			step := alpha * (xNew[i] - x[i])
+			x[i] += step
+			if i < len(cc.layout.Nodes) {
+				if math.Abs(step) > opts.VNTol+opts.RelTol*math.Abs(x[i]) {
+					converged = false
+				}
+			}
+		}
+		if converged && alpha == 1.0 {
+			return x, iter, nil
+		}
+	}
+	return nil, opts.MaxIter, fmt.Errorf("sim: no convergence in %d iterations (state: %s)",
+		opts.MaxIter, cc.layout.describeState(x))
+}
+
+// stampDC assembles the linearized MNA system at candidate solution x.
+// Capacitors are open circuits in DC.
+func stampDC(cc *compiled, a *la.Matrix, b []float64, x []float64, gmin, srcScale float64, switchPhase int) {
+	l := cc.layout
+	// Gmin shunts keep floating nodes (e.g. capacitively driven gates)
+	// weakly tied to ground.
+	for i := 0; i < len(l.Nodes); i++ {
+		a.Add(i, i, gmin)
+	}
+	for _, e := range cc.circuit.Elements {
+		switch e.Type {
+		case netlist.Resistor:
+			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), 1/e.Value)
+		case netlist.Capacitor:
+			// open in DC
+		case netlist.Switch:
+			sw := cc.switches[e.Name]
+			active := sw.Phase == 0 || sw.Phase == switchPhase
+			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), sw.Conductance(active))
+		case netlist.ISource:
+			i0 := e.Src.DC * srcScale
+			addRHS(b, l.idx(e.Nodes[0]), -i0)
+			addRHS(b, l.idx(e.Nodes[1]), +i0)
+		case netlist.VSource:
+			br := l.BranchIndex[e.Name]
+			stampVoltageBranch(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
+			b[br] += e.Src.DC * srcScale
+		case netlist.VCVS:
+			br := l.BranchIndex[e.Name]
+			op, on := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
+			cp, cn := l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			stampVoltageBranch(a, op, on, br)
+			addA(a, br, cp, -e.Value)
+			addA(a, br, cn, +e.Value)
+		case netlist.VCCS:
+			op, on := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
+			cp, cn := l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			stampVCCS(a, op, on, cp, cn, e.Value)
+		case netlist.MOS:
+			p := cc.mos[e.Name]
+			d, g, s, bk := l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			vd := nodeV(x, d)
+			vg := nodeV(x, g)
+			vs := nodeV(x, s)
+			vb := nodeV(x, bk)
+			op := p.Eval(vd, vg, vs, vb)
+			// Linearized companion: id ≈ ID + gm·Δvgs + gds·Δvds + gmb·Δvbs.
+			stampVCCS(a, d, s, g, s, op.GM)
+			stampConductance(a, d, s, op.GDS)
+			stampVCCS(a, d, s, bk, s, op.GMB)
+			ieq := op.ID - op.GM*(vg-vs) - op.GDS*(vd-vs) - op.GMB*(vb-vs)
+			addRHS(b, d, -ieq)
+			addRHS(b, s, +ieq)
+		}
+	}
+}
+
+func nodeV(x []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return x[i]
+}
+
+func addA(a *la.Matrix, i, j int, v float64) {
+	if i >= 0 && j >= 0 {
+		a.Add(i, j, v)
+	}
+}
+
+func addRHS(b []float64, i int, v float64) {
+	if i >= 0 {
+		b[i] += v
+	}
+}
+
+// stampConductance places a two-terminal conductance between nodes p and n.
+func stampConductance(a *la.Matrix, p, n int, g float64) {
+	addA(a, p, p, g)
+	addA(a, n, n, g)
+	addA(a, p, n, -g)
+	addA(a, n, p, -g)
+}
+
+// stampVCCS places i(p→n) = g·(vcp − vcn).
+func stampVCCS(a *la.Matrix, p, n, cp, cn int, g float64) {
+	addA(a, p, cp, g)
+	addA(a, p, cn, -g)
+	addA(a, n, cp, -g)
+	addA(a, n, cn, g)
+}
+
+// stampVoltageBranch places the incidence pattern shared by V and E.
+func stampVoltageBranch(a *la.Matrix, p, n, br int) {
+	addA(a, br, p, 1)
+	addA(a, br, n, -1)
+	addA(a, p, br, 1)
+	addA(a, n, br, -1)
+}

@@ -1,0 +1,142 @@
+// Package sim is the circuit simulation engine: a modified-nodal-analysis
+// (MNA) assembler with a Newton–Raphson DC operating-point solver
+// (gmin and source stepping for robustness), a complex-valued AC analysis,
+// and a trapezoidal transient analysis with two-phase clocked switches for
+// switched-capacitor circuits. It is the "simulation side" of the paper's
+// hybrid evaluation flow; the "equation side" lives in internal/dpi and
+// internal/poly.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipesyn/internal/device"
+	"pipesyn/internal/netlist"
+)
+
+// Layout maps circuit nodes and source branch currents onto MNA unknowns.
+// Ground ("0"/"gnd") is excluded; voltage-defined elements (V, E) get an
+// extra branch-current row each.
+type Layout struct {
+	NodeIndex   map[string]int
+	BranchIndex map[string]int // element name → branch unknown
+	Nodes       []string       // index → name
+	Size        int
+}
+
+// NewLayout builds the unknown map for a circuit.
+func NewLayout(c *netlist.Circuit) *Layout {
+	l := &Layout{NodeIndex: map[string]int{}, BranchIndex: map[string]int{}}
+	for _, e := range c.Elements {
+		for _, n := range e.Nodes {
+			if isGround(n) {
+				continue
+			}
+			if _, ok := l.NodeIndex[n]; !ok {
+				l.NodeIndex[n] = len(l.Nodes)
+				l.Nodes = append(l.Nodes, n)
+			}
+		}
+	}
+	next := len(l.Nodes)
+	for _, e := range c.Elements {
+		if e.Type == netlist.VSource || e.Type == netlist.VCVS {
+			l.BranchIndex[e.Name] = next
+			next++
+		}
+	}
+	l.Size = next
+	return l
+}
+
+func isGround(n string) bool { return n == "0" || n == "gnd" }
+
+// idx returns the matrix row for a node, or -1 for ground.
+func (l *Layout) idx(node string) int {
+	if isGround(node) {
+		return -1
+	}
+	i, ok := l.NodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown node %q", node))
+	}
+	return i
+}
+
+// Voltage extracts a node voltage from a solution vector (0 for ground).
+func (l *Layout) Voltage(x []float64, node string) float64 {
+	i := l.idx(node)
+	if i < 0 {
+		return 0
+	}
+	return x[i]
+}
+
+// compiled is the per-simulation view of a circuit: elements paired with
+// their resolved device parameters so the assembly loop never re-parses
+// model cards.
+type compiled struct {
+	circuit  *netlist.Circuit
+	layout   *Layout
+	mos      map[string]device.MOSParams
+	switches map[string]device.SwitchParams
+}
+
+func compile(c *netlist.Circuit) (*compiled, error) {
+	cc := &compiled{
+		circuit:  c,
+		layout:   NewLayout(c),
+		mos:      map[string]device.MOSParams{},
+		switches: map[string]device.SwitchParams{},
+	}
+	for _, e := range c.Elements {
+		switch e.Type {
+		case netlist.MOS:
+			m, err := c.ModelFor(e)
+			if err != nil {
+				return nil, err
+			}
+			p, err := device.FromNetlist(e, m)
+			if err != nil {
+				return nil, err
+			}
+			cc.mos[e.Name] = p
+		case netlist.Switch:
+			m, err := c.ModelFor(e)
+			if err != nil {
+				return nil, err
+			}
+			cc.switches[e.Name] = device.SwitchFromNetlist(e, m)
+		case netlist.Resistor:
+			if e.Value <= 0 {
+				return nil, fmt.Errorf("sim: %s has non-positive resistance %g", e.Name, e.Value)
+			}
+		case netlist.Capacitor:
+			if e.Value <= 0 {
+				return nil, fmt.Errorf("sim: %s has non-positive capacitance %g", e.Name, e.Value)
+			}
+		case netlist.VSource, netlist.ISource:
+			if e.Src == nil {
+				return nil, fmt.Errorf("sim: source %s has no waveform", e.Name)
+			}
+		}
+	}
+	if cc.layout.Size == 0 {
+		return nil, fmt.Errorf("sim: circuit %q has no unknowns", c.Title)
+	}
+	return cc, nil
+}
+
+// describeState renders node voltages for error messages and debug logs.
+func (l *Layout) describeState(x []float64) string {
+	names := make([]string, len(l.Nodes))
+	copy(names, l.Nodes)
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%.4g", n, x[l.NodeIndex[n]]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+const kB = 1.380649e-23
+
+// The classic result: the integrated output noise of any RC lowpass is
+// kT/C, independent of R.
+func TestNoiseKTOverC(t *testing.T) {
+	for _, r := range []string{"1k", "100k"} {
+		c := mustParse(t, `* rc
+V1 in 0 DC 0
+R1 in out `+r+`
+C1 out 0 1p
+`)
+		op := mustOP(t, c, DCOpts{})
+		// Band wide enough to capture essentially all the noise of both
+		// resistor choices (pole at 1.6 MHz / 160 MHz).
+		res, err := Noise(c, op, NoiseOpts{
+			Output: "out", FStart: 1, FStop: 1e12, PointsPerDecade: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kB * 300 / 1e-12
+		if math.Abs(res.Integrated-want)/want > 0.02 {
+			t.Fatalf("R=%s: integrated noise %g, want kT/C = %g", r, res.Integrated, want)
+		}
+	}
+}
+
+// A closed sampling switch obeys the same law: the track-phase noise of a
+// switched-capacitor sampler is kT/C regardless of Ron.
+func TestNoiseSwitchedCapSampler(t *testing.T) {
+	c := mustParse(t, `* sc track
+V1 in 0 DC 1
+S1 in top swm phase=1
+C1 top 0 2p
+.model swm sw (ron=500 roff=1e13)
+`)
+	op := mustOP(t, c, DCOpts{SwitchPhase: 1})
+	res, err := Noise(c, op, NoiseOpts{
+		Output: "top", FStart: 1, FStop: 1e13, PointsPerDecade: 25, SwitchPhase: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kB * 300 / 2e-12
+	if math.Abs(res.Integrated-want)/want > 0.03 {
+		t.Fatalf("sampler noise %g, want kT/C = %g", res.Integrated, want)
+	}
+	// sqrt(kT/2pF) ≈ 45.5 µV.
+	if rms := res.RMS(); math.Abs(rms-45.5e-6)/45.5e-6 > 0.03 {
+		t.Fatalf("RMS = %g, want ≈45.5 µV", rms)
+	}
+}
+
+// Low-frequency PSD of a resistive divider is 4kT·(R1∥R2).
+func TestNoiseDividerPSD(t *testing.T) {
+	c := mustParse(t, `* divider
+V1 in 0 DC 1
+R1 in out 10k
+R2 out 0 10k
+`)
+	op := mustOP(t, c, DCOpts{})
+	res, err := Noise(c, op, NoiseOpts{
+		Output: "out", FStart: 1, FStop: 100, PointsPerDecade: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * kB * 300 * 5e3 // R1∥R2 = 5k
+	if math.Abs(res.PSD[0]-want)/want > 0.01 {
+		t.Fatalf("PSD = %g, want %g", res.PSD[0], want)
+	}
+	// Both resistors contribute; bookkeeping splits evenly by symmetry.
+	if math.Abs(res.ByElement["r1"]-res.ByElement["r2"]) > 0.02*res.ByElement["r1"] {
+		t.Fatalf("per-element split uneven: %v", res.ByElement)
+	}
+}
+
+// A common-source amplifier's output noise: channel noise 4kTγgm into
+// (RD∥ro)² plus the load resistor's own 4kT/RD, at low frequency.
+func TestNoiseCommonSource(t *testing.T) {
+	c := mustParse(t, `* cs amp
+V1 vdd 0 DC 3.3
+VG g 0 DC 0.9
+RD vdd d 2k
+M1 d g 0 0 nch W=20u L=0.5u
+.model nch nmos (vto=0.45 kp=180u lambda=0.05 gamma=0)
+`)
+	op := mustOP(t, c, DCOpts{})
+	res, err := Noise(c, op, NoiseOpts{
+		Output: "d", FStart: 1e3, FStop: 1e5, PointsPerDecade: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mos := op.MOS["m1"]
+	rout := 1 / (1/2e3 + mos.GDS)
+	want := 4 * kB * 300 * ((2.0/3.0)*mos.GM + 1/2e3) * rout * rout
+	if math.Abs(res.PSD[0]-want)/want > 0.02 {
+		t.Fatalf("PSD = %g, want %g", res.PSD[0], want)
+	}
+	// The transistor dominates when gm·γ > 1/RD.
+	if res.ByElement["m1"] < res.ByElement["rd"] {
+		t.Fatalf("channel noise should dominate: %v", res.ByElement)
+	}
+}
+
+func TestNoiseErrors(t *testing.T) {
+	c := mustParse(t, "V1 a 0 DC 1\nR1 a b 1k\nR2 b 0 1k\n")
+	op := mustOP(t, c, DCOpts{})
+	if _, err := Noise(c, op, NoiseOpts{Output: "", FStart: 1, FStop: 10}); err == nil {
+		t.Fatal("expected missing-output error")
+	}
+	if _, err := Noise(c, op, NoiseOpts{Output: "b", FStart: 0, FStop: 10}); err == nil {
+		t.Fatal("expected band error")
+	}
+	if _, err := Noise(c, op, NoiseOpts{Output: "ghost", FStart: 1, FStop: 10}); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+	if _, err := Noise(c, op, NoiseOpts{Output: "0", FStart: 1, FStop: 10}); err == nil {
+		t.Fatal("expected ground-output error")
+	}
+	// Circuit with no noise sources (pure capacitive).
+	nc := mustParse(t, "V1 a 0 DC 1\nC1 a b 1p\nC2 b 0 1p\n")
+	nop := mustOP(t, nc, DCOpts{})
+	if _, err := Noise(nc, nop, NoiseOpts{Output: "b", FStart: 1, FStop: 10}); err == nil {
+		t.Fatal("expected no-sources error")
+	}
+}
+
+// Noise must scale linearly with temperature.
+func TestNoiseTemperatureScaling(t *testing.T) {
+	c := mustParse(t, "V1 in 0 DC 0\nR1 in out 1k\nC1 out 0 1p\n")
+	op := mustOP(t, c, DCOpts{})
+	cold, err := Noise(c, op, NoiseOpts{Output: "out", FStart: 1, FStop: 1e12, PointsPerDecade: 20, Temp: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Noise(c, op, NoiseOpts{Output: "out", FStart: 1, FStop: 1e12, PointsPerDecade: 20, Temp: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hot.Integrated / cold.Integrated
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("noise(300K)/noise(150K) = %g, want 2", ratio)
+	}
+}

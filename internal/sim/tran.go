@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pipesyn/internal/la"
+	"pipesyn/internal/netlist"
+)
+
+// Integrator selects the transient integration method.
+type Integrator int
+
+const (
+	Trapezoidal Integrator = iota
+	BackwardEuler
+)
+
+// TranOpts configures a transient run.
+type TranOpts struct {
+	TStop  float64
+	TStep  float64
+	Method Integrator
+	// Two-phase non-overlapping clock for switched-capacitor circuits:
+	// phase 1 occupies [0, T/2−Tnov), phase 2 occupies [T/2, T−Tnov).
+	// ClockPeriod 0 disables the clock (all clocked switches open).
+	ClockPeriod float64
+	NonOverlap  float64
+	MaxNewton   int
+	// UseICs starts from the given node voltages instead of a DC solve.
+	UseICs bool
+	ICs    map[string]float64
+}
+
+// TranResult holds sampled waveforms.
+type TranResult struct {
+	T []float64
+	V map[string][]float64
+}
+
+// Waveform returns a node waveform.
+func (r *TranResult) Waveform(node string) ([]float64, error) {
+	if isGround(node) {
+		w := make([]float64, len(r.T))
+		return w, nil
+	}
+	v, ok := r.V[node]
+	if !ok {
+		return nil, fmt.Errorf("sim: no node %q in transient solution", node)
+	}
+	return v, nil
+}
+
+// At samples a waveform at time t with linear interpolation.
+func (r *TranResult) At(node string, t float64) (float64, error) {
+	w, err := r.Waveform(node)
+	if err != nil {
+		return 0, err
+	}
+	if len(r.T) == 0 {
+		return 0, fmt.Errorf("sim: empty transient result")
+	}
+	if t <= r.T[0] {
+		return w[0], nil
+	}
+	if t >= r.T[len(r.T)-1] {
+		return w[len(w)-1], nil
+	}
+	lo, hi := 0, len(r.T)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - r.T[lo]) / (r.T[hi] - r.T[lo])
+	return w[lo] + frac*(w[hi]-w[lo]), nil
+}
+
+// ClockPhase reports which non-overlapping phase is active at time t.
+// Returns 0 during non-overlap gaps.
+func ClockPhase(t, period, nonOverlap float64) int {
+	if period <= 0 {
+		return 0
+	}
+	tm := math.Mod(t, period)
+	if tm < 0 {
+		tm += period
+	}
+	half := period / 2
+	switch {
+	case tm < half-nonOverlap:
+		return 1
+	case tm >= half && tm < period-nonOverlap:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// capState carries the companion-model memory of one capacitor.
+type capState struct {
+	v float64 // voltage at previous accepted step
+	i float64 // current at previous accepted step (for trapezoidal)
+}
+
+// Tran runs a fixed-step transient analysis. Each step solves the
+// nonlinear network by Newton iteration with capacitor companion models
+// (trapezoidal by default). Clocked switches follow the two-phase clock.
+func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
+	if opts.TStop <= 0 || opts.TStep <= 0 || opts.TStep > opts.TStop {
+		return nil, fmt.Errorf("sim: bad transient window step=%g stop=%g", opts.TStep, opts.TStop)
+	}
+	if opts.MaxNewton == 0 {
+		opts.MaxNewton = 80
+	}
+	cc, err := compile(c)
+	if err != nil {
+		return nil, err
+	}
+	l := cc.layout
+	n := l.Size
+
+	// Initial state: DC operating point with the t=0 clock phase, or ICs.
+	x := make([]float64, n)
+	if opts.UseICs {
+		for node, v := range opts.ICs {
+			if i := l.idx(node); i >= 0 {
+				x[i] = v
+			}
+		}
+	} else {
+		dc, err := OP(c, DCOpts{SwitchPhase: ClockPhase(0, opts.ClockPeriod, opts.NonOverlap)})
+		if err != nil {
+			return nil, fmt.Errorf("sim: transient initial OP: %w", err)
+		}
+		copy(x, dc.x)
+	}
+
+	// Companion state per capacitor; MOS terminal caps get synthetic
+	// entries keyed by element name + terminal pair.
+	caps := map[string]*capState{}
+	for _, e := range cc.circuit.Elements {
+		if e.Type == netlist.Capacitor {
+			v0 := nodeV(x, l.idx(e.Nodes[0])) - nodeV(x, l.idx(e.Nodes[1]))
+			caps[e.Name] = &capState{v: v0}
+		}
+	}
+
+	steps := int(math.Round(opts.TStop/opts.TStep)) + 1
+	res := &TranResult{V: map[string][]float64{}}
+	for name := range l.NodeIndex {
+		res.V[name] = make([]float64, 0, steps)
+	}
+	record := func(t float64, x []float64) {
+		res.T = append(res.T, t)
+		for name, i := range l.NodeIndex {
+			res.V[name] = append(res.V[name], x[i])
+		}
+	}
+	record(0, x)
+
+	a := la.NewMatrix(n, n)
+	b := make([]float64, n)
+
+	// solveStep runs damped Newton for one step ending at time t with
+	// width h; it returns the converged state without touching x or the
+	// capacitor memory.
+	solveStep := func(xFrom []float64, t, h float64, method Integrator) ([]float64, error) {
+		phase := ClockPhase(t, opts.ClockPeriod, opts.NonOverlap)
+		xNew := append([]float64(nil), xFrom...)
+		for it := 0; it < opts.MaxNewton; it++ {
+			a.Zero()
+			for i := range b {
+				b[i] = 0
+			}
+			stampTran(cc, a, b, xNew, xFrom, caps, h, t, phase, method)
+			f, err := la.Factor(a)
+			if err != nil {
+				return nil, fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
+			}
+			sol := f.Solve(b)
+			maxStep := 0.0
+			for i := 0; i < len(l.Nodes); i++ {
+				if d := math.Abs(sol[i] - xNew[i]); d > maxStep {
+					maxStep = d
+				}
+			}
+			// Damp large Newton excursions (a hard residue step can throw
+			// devices across regions; full steps then oscillate).
+			alpha := 1.0
+			const vLimit = 0.3
+			if maxStep > vLimit {
+				alpha = vLimit / maxStep
+			}
+			for i := range sol {
+				xNew[i] += alpha * (sol[i] - xNew[i])
+			}
+			if alpha == 1 && maxStep < 1e-6+1e-4*la.NormInf(xNew) {
+				return xNew, nil
+			}
+		}
+		return nil, fmt.Errorf("sim: transient Newton failed at t=%g", t)
+	}
+
+	commitCaps := func(xNew []float64, h float64, method Integrator) {
+		for _, e := range cc.circuit.Elements {
+			if e.Type != netlist.Capacitor {
+				continue
+			}
+			st := caps[e.Name]
+			vNew := nodeV(xNew, l.idx(e.Nodes[0])) - nodeV(xNew, l.idx(e.Nodes[1]))
+			switch method {
+			case Trapezoidal:
+				st.i = (2*e.Value/h)*(vNew-st.v) - st.i
+			case BackwardEuler:
+				st.i = (e.Value / h) * (vNew - st.v)
+			}
+			st.v = vNew
+		}
+	}
+
+	// advance integrates from tPrev to tPrev+h, recursively halving the
+	// step with backward Euler when Newton cannot converge (sharp source
+	// edges and region changes are the usual culprits).
+	var advance func(xFrom []float64, tPrev, h float64, method Integrator, depth int) ([]float64, error)
+	advance = func(xFrom []float64, tPrev, h float64, method Integrator, depth int) ([]float64, error) {
+		xNew, err := solveStep(xFrom, tPrev+h, h, method)
+		if err == nil {
+			commitCaps(xNew, h, method)
+			return xNew, nil
+		}
+		if depth >= 10 {
+			return nil, err
+		}
+		xMid, err := advance(xFrom, tPrev, h/2, BackwardEuler, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return advance(xMid, tPrev+h/2, h/2, BackwardEuler, depth+1)
+	}
+
+	h := opts.TStep
+	prevPhase := ClockPhase(0, opts.ClockPeriod, opts.NonOverlap)
+	for k := 1; k < steps; k++ {
+		t := float64(k) * h
+		phase := ClockPhase(t, opts.ClockPeriod, opts.NonOverlap)
+		// Trapezoidal integration rings forever if started with a wrong
+		// capacitor-current state; take a damping backward-Euler step at
+		// t=0 and across every clock-phase discontinuity, as production
+		// simulators do after breakpoints.
+		method := opts.Method
+		if k == 1 || phase != prevPhase {
+			method = BackwardEuler
+		}
+		prevPhase = phase
+		xNew, err := advance(x, t-h, h, method, 0)
+		if err != nil {
+			return nil, err
+		}
+		x = xNew
+		record(t, x)
+	}
+	return res, nil
+}
+
+// stampTran assembles one Newton iteration of a transient step.
+func stampTran(cc *compiled, a *la.Matrix, b []float64, x, xPrev []float64,
+	caps map[string]*capState, h, t float64, phase int, method Integrator) {
+	l := cc.layout
+	for i := 0; i < len(l.Nodes); i++ {
+		a.Add(i, i, 1e-12)
+	}
+	for _, e := range cc.circuit.Elements {
+		switch e.Type {
+		case netlist.Resistor:
+			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), 1/e.Value)
+		case netlist.Capacitor:
+			st := caps[e.Name]
+			p, nn := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
+			var geq, ieq float64
+			switch method {
+			case Trapezoidal:
+				geq = 2 * e.Value / h
+				ieq = geq*st.v + st.i
+			case BackwardEuler:
+				geq = e.Value / h
+				ieq = geq * st.v
+			}
+			stampConductance(a, p, nn, geq)
+			addRHS(b, p, ieq)
+			addRHS(b, nn, -ieq)
+		case netlist.Switch:
+			sw := cc.switches[e.Name]
+			active := sw.Phase == 0 || sw.Phase == phase
+			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), sw.Conductance(active))
+		case netlist.ISource:
+			i0 := sourceValue(e.Src, t)
+			addRHS(b, l.idx(e.Nodes[0]), -i0)
+			addRHS(b, l.idx(e.Nodes[1]), +i0)
+		case netlist.VSource:
+			br := l.BranchIndex[e.Name]
+			stampVoltageBranch(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
+			b[br] += sourceValue(e.Src, t)
+		case netlist.VCVS:
+			br := l.BranchIndex[e.Name]
+			op, on := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
+			cp, cn := l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			stampVoltageBranch(a, op, on, br)
+			addA(a, br, cp, -e.Value)
+			addA(a, br, cn, +e.Value)
+		case netlist.VCCS:
+			stampVCCS(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]), e.Value)
+		case netlist.MOS:
+			p := cc.mos[e.Name]
+			d, g, s, bk := l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			vd, vg, vs, vb := nodeV(x, d), nodeV(x, g), nodeV(x, s), nodeV(x, bk)
+			op := p.Eval(vd, vg, vs, vb)
+			stampVCCS(a, d, s, g, s, op.GM)
+			stampConductance(a, d, s, op.GDS)
+			stampVCCS(a, d, s, bk, s, op.GMB)
+			ieq := op.ID - op.GM*(vg-vs) - op.GDS*(vd-vs) - op.GMB*(vb-vs)
+			addRHS(b, d, -ieq)
+			addRHS(b, s, +ieq)
+			// MOS terminal capacitances as backward-Euler companions
+			// referenced to the previous accepted step (Meyer model).
+			stampMOSCap(a, b, l, g, s, op.CGS, xPrev, h)
+			stampMOSCap(a, b, l, g, d, op.CGD, xPrev, h)
+			stampMOSCap(a, b, l, g, bk, op.CGB, xPrev, h)
+			stampMOSCap(a, b, l, d, bk, op.CDB, xPrev, h)
+			stampMOSCap(a, b, l, s, bk, op.CSB, xPrev, h)
+		}
+	}
+}
+
+// stampMOSCap adds a BE companion for a (possibly zero) device capacitance.
+func stampMOSCap(a *la.Matrix, b []float64, l *Layout, p, n int, c float64, xPrev []float64, h float64) {
+	if c <= 0 {
+		return
+	}
+	geq := c / h
+	vPrev := nodeV(xPrev, p) - nodeV(xPrev, n)
+	ieq := geq * vPrev
+	stampConductance(a, p, n, geq)
+	addRHS(b, p, ieq)
+	addRHS(b, n, -ieq)
+}
+
+// sourceValue evaluates an independent source waveform at time t.
+func sourceValue(s *netlist.Source, t float64) float64 {
+	switch s.Kind {
+	case netlist.SrcDC:
+		return s.DC
+	case netlist.SrcSin:
+		if t < s.Sin.Delay {
+			return s.Sin.VO
+		}
+		ph := s.Sin.Phase * math.Pi / 180
+		return s.Sin.VO + s.Sin.VA*math.Sin(2*math.Pi*s.Sin.Freq*(t-s.Sin.Delay)+ph)
+	case netlist.SrcPulse:
+		p := s.Pulse
+		if t < p.TD {
+			return p.V1
+		}
+		tm := t - p.TD
+		if p.PER > 0 {
+			tm = math.Mod(tm, p.PER)
+		}
+		switch {
+		case tm < p.TR:
+			return p.V1 + (p.V2-p.V1)*tm/p.TR
+		case tm < p.TR+p.PW:
+			return p.V2
+		case tm < p.TR+p.PW+p.TF:
+			return p.V2 + (p.V1-p.V2)*(tm-p.TR-p.PW)/p.TF
+		default:
+			return p.V1
+		}
+	case netlist.SrcPWL:
+		pts := s.PWL
+		if len(pts) == 0 {
+			return s.DC
+		}
+		if t <= pts[0].T {
+			return pts[0].V
+		}
+		for i := 1; i < len(pts); i++ {
+			if t <= pts[i].T {
+				frac := (t - pts[i-1].T) / (pts[i].T - pts[i-1].T)
+				return pts[i-1].V + frac*(pts[i].V-pts[i-1].V)
+			}
+		}
+		return pts[len(pts)-1].V
+	}
+	return s.DC
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTranRCCharge(t *testing.T) {
+	// RC step response: v(t) = 5(1 − e^{−t/τ}), τ = 1 µs.
+	c := mustParse(t, `* rc step
+V1 in 0 PWL(0 0 1n 5)
+R1 in out 1k
+C1 out 0 1n
+`)
+	res, err := Tran(c, TranOpts{TStop: 5e-6, TStep: 10e-9, UseICs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 1e-6
+	for _, tp := range []float64{0.5e-6, 1e-6, 2e-6, 4e-6} {
+		got, err := res.At("out", tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 5 * (1 - math.Exp(-(tp-1e-9)/tau))
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("v(%g) = %g, want %g", tp, got, want)
+		}
+	}
+}
+
+func TestTranTrapVsBE(t *testing.T) {
+	// Trapezoidal should be visibly more accurate than BE at a coarse
+	// step. Free RC discharge from an initial condition, sampled at 2τ
+	// (the simulator takes one BE start-up step in both runs).
+	deck := `* rc discharge coarse
+R1 top 0 1k
+C1 top 0 1n
+`
+	c := mustParse(t, deck)
+	step := 100e-9 // τ/10
+	ics := map[string]float64{"top": 1.0}
+	trap, err := Tran(c, TranOpts{TStop: 2e-6, TStep: step, Method: Trapezoidal, UseICs: true, ICs: ics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := Tran(c, TranOpts{TStop: 2e-6, TStep: step, Method: BackwardEuler, UseICs: true, ICs: ics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2.0)
+	vTrap, _ := trap.At("top", 2e-6)
+	vBE, _ := be.At("top", 2e-6)
+	if math.Abs(vTrap-want) >= math.Abs(vBE-want) {
+		t.Fatalf("trap err %g should beat BE err %g", math.Abs(vTrap-want), math.Abs(vBE-want))
+	}
+}
+
+func TestTranSinSource(t *testing.T) {
+	c := mustParse(t, `* follower of a sine through a resistor
+V1 in 0 SIN(1 0.5 1MEG)
+R1 in out 1
+R2 out 0 1MEG
+`)
+	res, err := Tran(c, TranOpts{TStop: 2e-6, TStep: 5e-9, UseICs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak near t = 0.25 µs should approach 1.5, trough near 0.75 µs → 0.5.
+	peak, _ := res.At("out", 0.25e-6)
+	trough, _ := res.At("out", 0.75e-6)
+	if math.Abs(peak-1.5) > 0.01 || math.Abs(trough-0.5) > 0.01 {
+		t.Fatalf("sine peaks: %g / %g", peak, trough)
+	}
+}
+
+func TestTranPulse(t *testing.T) {
+	c := mustParse(t, `* pulse passthrough
+V1 in 0 PULSE(0 1 100n 10n 10n 200n 500n)
+R1 in 0 1k
+`)
+	res, err := Tran(c, TranOpts{TStop: 1e-6, TStep: 2e-9, UseICs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := res.At("in", 50e-9)  // before delay
+	v1, _ := res.At("in", 200e-9) // during pulse
+	v2, _ := res.At("in", 400e-9) // after pulse
+	v3, _ := res.At("in", 700e-9) // second period, pulse high again
+	if v0 != 0 || math.Abs(v1-1) > 1e-9 || math.Abs(v2) > 1e-9 || math.Abs(v3-1) > 1e-9 {
+		t.Fatalf("pulse samples: %g %g %g %g", v0, v1, v2, v3)
+	}
+}
+
+func TestClockPhase(t *testing.T) {
+	period, nov := 100e-9, 5e-9
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 1},
+		{20e-9, 1},
+		{44e-9, 1},
+		{47e-9, 0}, // non-overlap gap
+		{50e-9, 2},
+		{90e-9, 2},
+		{97e-9, 0}, // gap before wrap
+		{100e-9, 1},
+		{120e-9, 1},
+	}
+	for _, c := range cases {
+		if got := ClockPhase(c.t, period, nov); got != c.want {
+			t.Errorf("ClockPhase(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if ClockPhase(123, 0, 0) != 0 {
+		t.Error("no clock should mean no phase")
+	}
+}
+
+// Switched-capacitor sample: during φ1 the cap tracks the input; during φ2
+// it is isolated and holds.
+func TestTranSampleAndHold(t *testing.T) {
+	c := mustParse(t, `* track and hold
+V1 in 0 DC 2
+S1 in top swm phase=1
+C1 top 0 1p
+.model swm sw (ron=100 roff=1e13)
+`)
+	res, err := Tran(c, TranOpts{
+		TStop: 200e-9, TStep: 0.5e-9,
+		ClockPeriod: 100e-9, NonOverlap: 5e-9,
+		UseICs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End of φ1 (t≈40n): tracked to ≈2 V (τ = 100Ω·1pF = 0.1 ns).
+	vTrack, _ := res.At("top", 40e-9)
+	if math.Abs(vTrack-2) > 0.01 {
+		t.Fatalf("tracking failed: %g", vTrack)
+	}
+	// During φ2 (t≈80n): held.
+	vHold, _ := res.At("top", 80e-9)
+	if math.Abs(vHold-2) > 0.02 {
+		t.Fatalf("hold droop: %g", vHold)
+	}
+}
+
+func TestTranMOSInverterSwitches(t *testing.T) {
+	// NMOS inverter driven by a pulse: output swings opposite the input.
+	c := mustParse(t, `* nmos inverter
+V1 vdd 0 DC 3.3
+VIN g 0 PULSE(0 3.3 20n 1n 1n 40n 100n)
+RD vdd d 10k
+M1 d g 0 0 nch W=10u L=0.25u
+.model nch nmos (vto=0.45 kp=180u)
+CL d 0 10f
+`)
+	res, err := Tran(c, TranOpts{TStop: 100e-9, TStep: 0.2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHighIn, _ := res.At("d", 50e-9) // input high → output low
+	vLowIn, _ := res.At("d", 10e-9)  // input low → output high
+	if vHighIn > 0.5 {
+		t.Fatalf("output should pull low, got %g", vHighIn)
+	}
+	if vLowIn < 3.0 {
+		t.Fatalf("output should sit high, got %g", vLowIn)
+	}
+}
+
+func TestTranErrors(t *testing.T) {
+	c := mustParse(t, "V1 a 0 DC 1\nR1 a 0 1k\n")
+	if _, err := Tran(c, TranOpts{TStop: 0, TStep: 1e-9}); err == nil {
+		t.Fatal("expected bad-window error")
+	}
+	if _, err := Tran(c, TranOpts{TStop: 1e-9, TStep: 1e-6}); err == nil {
+		t.Fatal("expected step>stop error")
+	}
+	res, err := Tran(c, TranOpts{TStop: 10e-9, TStep: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Waveform("ghost"); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+	if w, err := res.Waveform("0"); err != nil || w[0] != 0 {
+		t.Fatal("ground waveform must be zeros")
+	}
+}
+
+func TestTranICs(t *testing.T) {
+	// Start a free RC discharge from an initial condition.
+	c := mustParse(t, `* discharge
+R1 top 0 1k
+C1 top 0 1n
+`)
+	res, err := Tran(c, TranOpts{
+		TStop: 3e-6, TStep: 10e-9,
+		UseICs: true, ICs: map[string]float64{"top": 2.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := res.At("top", 1e-6) // one τ later: 2/e
+	want := 2 / math.E
+	if math.Abs(v-want) > 0.03 {
+		t.Fatalf("discharge v(τ) = %g, want %g", v, want)
+	}
+}
+
+func TestTranPWLEdges(t *testing.T) {
+	// Before the first point the source holds the first value; after the
+	// last it holds the last value.
+	c := mustParse(t, `* pwl edges
+V1 in 0 PWL(10n 1 20n 2)
+R1 in 0 1k
+`)
+	res, err := Tran(c, TranOpts{TStop: 40e-9, TStep: 1e-9, UseICs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, _ := res.At("in", 2e-9)
+	late, _ := res.At("in", 35e-9)
+	if math.Abs(early-1) > 1e-9 || math.Abs(late-2) > 1e-9 {
+		t.Fatalf("PWL edges: early=%g late=%g", early, late)
+	}
+}
+
+func TestTranPulseNoPeriod(t *testing.T) {
+	// PER=0 means a one-shot pulse.
+	src := `* oneshot
+V1 in 0 PULSE(0 1 5n 1n 1n 5n 0)
+R1 in 0 1k
+`
+	c := mustParse(t, src)
+	c.Find("v1").Src.Pulse.PER = 0
+	res, err := Tran(c, TranOpts{TStop: 40e-9, TStep: 0.5e-9, UseICs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	during, _ := res.At("in", 8e-9)
+	after, _ := res.At("in", 30e-9)
+	if math.Abs(during-1) > 1e-9 || math.Abs(after) > 1e-9 {
+		t.Fatalf("one-shot pulse: during=%g after=%g", during, after)
+	}
+}

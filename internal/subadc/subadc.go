@@ -1,0 +1,111 @@
+// Package subadc models the flash sub-ADC inside each pipeline stage: a
+// bank of clocked comparators (preamplifier + regenerative latch) whose
+// power the paper adds to the MDAC power to obtain total stage power.
+// The model is the standard design procedure: the preamplifier must
+// amplify an LSB-scale overdrive to the latch's sensitivity within the
+// comparison window, and the latch must regenerate to full swing within
+// its time constant budget; both translate to gm, hence current, hence
+// power. Digital correction relaxes comparator accuracy to the stage's
+// own (coarse) LSB, which is why sub-ADC power stays small next to the
+// MDAC — but with 2^m−2 comparators it grows exponentially in m, the
+// counterweight that makes stage-resolution optimization non-trivial.
+package subadc
+
+import (
+	"fmt"
+	"math"
+
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+)
+
+// Comparator is one comparator's design point.
+type Comparator struct {
+	PreampGM    float64 // preamplifier transconductance, S
+	PreampI     float64 // preamplifier static current, A
+	LatchCLoad  float64 // regeneration node capacitance, F
+	LatchEnergy float64 // CV² dynamic energy per decision, J
+	Power       float64 // total average power at the stage clock rate, W
+}
+
+// Bank is the full flash converter of one stage.
+type Bank struct {
+	Count      int
+	PerComp    Comparator
+	TotalPower float64
+}
+
+// Design sizes the comparator bank for a stage spec at the given sample
+// rate. Model:
+//
+//   - The preamp must raise the minimum overdrive (¼ of the comparator
+//     offset tolerance) to the latch sensitivity (~10 mV) within half the
+//     comparison window: gm/C_int sets that exponential-free linear gain
+//     bandwidth, giving gm ≥ A_need·C_int/t_cmp.
+//   - The latch regenerates with τ = C_latch/gm_latch; full swing needs
+//     ~ln(VDD/V_sense)·τ < t_cmp/2, but its power is dominated by the CV²f
+//     dynamic term, which we charge at the clock rate.
+func Design(spec stagespec.MDACSpec, proc *pdk.Process, fs float64) (Bank, error) {
+	if fs <= 0 {
+		return Bank{}, fmt.Errorf("subadc: non-positive sample rate")
+	}
+	if spec.ComparatorCount <= 0 {
+		return Bank{}, fmt.Errorf("subadc: stage %d has no comparators", spec.Stage)
+	}
+	const (
+		cInt   = 30e-15 // preamp integration node capacitance
+		cLatch = 20e-15 // regeneration node capacitance
+		vSense = 10e-3  // latch sensitivity
+		vovPre = 0.15   // preamp overdrive bias
+	)
+	tCmp := 1 / (2 * fs) // comparison happens in the half-period
+
+	// Required preamp gain: smallest resolvable input is a quarter of the
+	// offset tolerance (margin for latch noise and hysteresis).
+	vMin := spec.CompOffsetTol / 4
+	aNeed := vSense / vMin
+	if aNeed < 1 {
+		aNeed = 1
+	}
+	gmPre := aNeed * cInt / (0.5 * tCmp)
+	iPre := gmPre * vovPre / 2 // square-law I = gm·Vov/2
+
+	// Latch dynamic energy per decision: both regeneration nodes swing
+	// rail to rail.
+	eLatch := cLatch * proc.VDD * proc.VDD
+
+	per := Comparator{
+		PreampGM:    gmPre,
+		PreampI:     iPre,
+		LatchCLoad:  cLatch,
+		LatchEnergy: eLatch,
+		Power:       proc.VDD*iPre + eLatch*fs,
+	}
+	b := Bank{Count: spec.ComparatorCount, PerComp: per}
+	b.TotalPower = float64(b.Count) * per.Power
+	return b, nil
+}
+
+// PowerCurve reports bank power across stage resolutions at fixed offset
+// budgeting — used by the ablation benchmarks to show the exponential
+// comparator-count term.
+func PowerCurve(proc *pdk.Process, fs, vref float64, bitsLo, bitsHi int) ([]float64, error) {
+	if bitsLo < 2 || bitsHi < bitsLo {
+		return nil, fmt.Errorf("subadc: bad resolution range %d..%d", bitsLo, bitsHi)
+	}
+	out := make([]float64, 0, bitsHi-bitsLo+1)
+	for m := bitsLo; m <= bitsHi; m++ {
+		spec := stagespec.MDACSpec{
+			Stage:           1,
+			Bits:            m,
+			ComparatorCount: (1 << m) - 2,
+			CompOffsetTol:   vref / math.Pow(2, float64(m+1)),
+		}
+		b, err := Design(spec, proc, fs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.TotalPower)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package subadc
+
+import (
+	"math"
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+)
+
+func specFor(t *testing.T, bits int) stagespec.MDACSpec {
+	t.Helper()
+	adc := stagespec.ADCSpec{Bits: 13, SampleRate: 40e6, VRef: 1}
+	var cfg enum.Config
+	switch bits {
+	case 2:
+		cfg = enum.Config{2, 2, 2, 2, 2, 2}
+	case 3:
+		cfg = enum.Config{3, 3, 3}
+	case 4:
+		cfg = enum.Config{4, 4}
+	default:
+		t.Fatalf("unsupported bits %d", bits)
+	}
+	specs, err := stagespec.Translate(adc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs[0]
+}
+
+func TestDesignBasics(t *testing.T) {
+	p := pdk.TSMC025()
+	b, err := Design(specFor(t, 3), p, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 6 {
+		t.Fatalf("3-bit stage → %d comparators, want 6", b.Count)
+	}
+	if b.TotalPower <= 0 || b.TotalPower > 10e-3 {
+		t.Fatalf("bank power = %g W, implausible", b.TotalPower)
+	}
+	if math.Abs(b.TotalPower-float64(b.Count)*b.PerComp.Power) > 1e-12 {
+		t.Fatal("total power must be count × per-comparator power")
+	}
+}
+
+func TestPowerGrowsWithResolution(t *testing.T) {
+	p := pdk.TSMC025()
+	var prev float64
+	for _, bits := range []int{2, 3, 4} {
+		b, err := Design(specFor(t, bits), p, 40e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.TotalPower <= prev {
+			t.Fatalf("%d-bit bank power %g not above %g", bits, b.TotalPower, prev)
+		}
+		prev = b.TotalPower
+	}
+}
+
+func TestPowerScalesWithRate(t *testing.T) {
+	p := pdk.TSMC025()
+	spec := specFor(t, 3)
+	slow, err := Design(spec, p, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Design(spec, p, 80e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalPower <= slow.TotalPower {
+		t.Fatalf("faster clock must cost more: %g vs %g", fast.TotalPower, slow.TotalPower)
+	}
+}
+
+func TestTighterOffsetCostsMore(t *testing.T) {
+	p := pdk.TSMC025()
+	spec := specFor(t, 3)
+	loose, err := Design(spec, p, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := spec
+	tight.CompOffsetTol = spec.CompOffsetTol / 8
+	tb, err := Design(tight, p, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.PerComp.PreampI <= loose.PerComp.PreampI {
+		t.Fatal("tighter offset must demand more preamp current")
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	p := pdk.TSMC025()
+	if _, err := Design(specFor(t, 3), p, 0); err == nil {
+		t.Fatal("expected rate error")
+	}
+	bad := specFor(t, 3)
+	bad.ComparatorCount = 0
+	if _, err := Design(bad, p, 40e6); err == nil {
+		t.Fatal("expected count error")
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	p := pdk.TSMC025()
+	curve, err := PowerCurve(p, 40e6, 1.0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	// Exponential comparator count dominates: the 4-bit bank costs more
+	// than 3× the 2-bit bank.
+	if curve[2] < 3*curve[0] {
+		t.Fatalf("curve not superlinear: %v", curve)
+	}
+	if _, err := PowerCurve(p, 40e6, 1, 5, 4); err == nil {
+		t.Fatal("expected range error")
+	}
+}

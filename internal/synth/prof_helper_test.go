@@ -1,0 +1,19 @@
+package synth
+
+import (
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+)
+
+func lateStageSpecB(b *testing.B) (stagespec.MDACSpec, *pdk.Process) {
+	b.Helper()
+	adc := stagespec.ADCSpec{Bits: 10, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs[1], pdk.TSMC025()
+}

@@ -1,0 +1,23 @@
+package synth
+
+import (
+	"testing"
+
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+)
+
+func BenchmarkHybridEval(b *testing.B) {
+	spec, proc := lateStageSpecB(b)
+	s0 := opamp.InitialSizing(proc, opamp.BlockSpec{
+		GBW: spec.GBWMin, SR: spec.SRMin, CLoad: spec.CLoad,
+		CFeed: spec.CFeed, Gain: spec.GainMin, Swing: spec.SwingMin,
+	})
+	se := hybrid.NewStageEvaluator(spec, proc, hybrid.Hybrid)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := se.Evaluate(s0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

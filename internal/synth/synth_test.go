@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+)
+
+func lateStageSpec(t *testing.T) (stagespec.MDACSpec, *pdk.Process) {
+	t.Helper()
+	adc := stagespec.ADCSpec{Bits: 10, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs[1], pdk.TSMC025()
+}
+
+func TestSynthesizeFindsFeasible(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	res, err := Synthesize(spec, proc, Options{
+		Seed: 1, MaxEvals: 120, PatternIter: 60, Mode: hybrid.Hybrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("no feasible sizing found: %v", res.Report.Failures)
+	}
+	if res.Metrics.Power <= 0 {
+		t.Fatalf("power = %g", res.Metrics.Power)
+	}
+	if res.Evals == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestSynthesizeReducesPower(t *testing.T) {
+	// The optimizer should not end up more expensive than a feasible
+	// start whose cost it was told to minimize.
+	spec, proc := lateStageSpec(t)
+	s0 := opamp.InitialSizing(proc, opamp.BlockSpec{
+		GBW: spec.GBWMin, SR: spec.SRMin, CLoad: spec.CLoad,
+		CFeed: spec.CFeed, Gain: spec.GainMin, Swing: spec.SwingMin,
+	})
+	ev := newEvaluator(spec, proc, hybrid.Hybrid, 10)
+	start := ev.score(s0)
+	res, err := Synthesize(spec, proc, Options{
+		Seed: 3, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > start.cost*1.001 {
+		t.Fatalf("optimizer worsened cost: %g → %g", start.cost, res.Cost)
+	}
+}
+
+func TestWarmStartUsesFewerEvals(t *testing.T) {
+	// Retargeting: synthesize a stage, then re-synthesize a neighbouring
+	// spec seeded with the first result. The warm run must reach a
+	// feasible point with far fewer evaluations (the paper's
+	// "2–3 weeks → 1 day" effect).
+	spec, proc := lateStageSpec(t)
+	cold, err := Synthesize(spec, proc, Options{
+		Seed: 5, MaxEvals: 150, PatternIter: 60, Mode: hybrid.Hybrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Feasible {
+		t.Skip("cold run infeasible; retarget comparison not meaningful")
+	}
+	// Neighbouring spec: the same stage retargeted to 20% more bandwidth.
+	spec2 := spec
+	spec2.GBWMin *= 1.2
+	warm, err := Synthesize(spec2, proc, Options{
+		Seed: 6, MaxEvals: 150, PatternIter: 60, Mode: hybrid.Hybrid,
+		WarmStart: cold.Sizing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Feasible {
+		t.Fatalf("warm retarget infeasible: %v", warm.Report.Failures)
+	}
+	if warm.Evals >= cold.Evals {
+		t.Fatalf("warm start spent %d evals, cold %d — retargeting saved nothing",
+			warm.Evals, cold.Evals)
+	}
+}
+
+func TestPerturbStaysInBounds(t *testing.T) {
+	proc := pdk.TSMC025()
+	rng := rand.New(rand.NewSource(9))
+	var s opamp.Amp = opamp.MillerSizing{
+		W1: 1e-6, L1: 0.5e-6, W3: 1e-6, L3: 0.5e-6, W5: 5e-6, L5: 0.35e-6,
+		KTail: 4, K2: 8, IRef: 20e-6, CC: 0.3e-12, RZ: 500,
+	}
+	for i := 0; i < 500; i++ {
+		s = perturb(rng, s, 1.0, proc)
+		ms := s.(opamp.MillerSizing)
+		if ms.W1 < proc.WMin || ms.W1 > proc.WMax || ms.L1 < proc.LMin || ms.L1 > proc.LMax {
+			t.Fatalf("geometry escaped bounds: %+v", ms)
+		}
+		if ms.IRef <= 0 || ms.CC <= 0 || ms.RZ <= 0 {
+			t.Fatalf("non-positive electricals: %+v", ms)
+		}
+	}
+}
+
+func TestEquationModeSynthesisIsCheap(t *testing.T) {
+	// Equation-only synthesis must run a large budget quickly and still
+	// produce a sane sizing (this is the speed end of the paper's
+	// trade-off).
+	spec, proc := lateStageSpec(t)
+	res, err := Synthesize(spec, proc, Options{
+		Seed: 11, MaxEvals: 2000, PatternIter: 400, Mode: hybrid.EquationOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Power <= 0 || res.Metrics.Power > 50e-3 {
+		t.Fatalf("equation-mode power = %g", res.Metrics.Power)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.MaxEvals != 400 || o.InitTemp != 2 || o.PatternIter != 120 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	warm := Options{WarmStart: opamp.MillerSizing{}}
+	warm.defaults()
+	if warm.MaxEvals >= 400 || warm.InitTemp >= 2 {
+		t.Fatalf("warm-start defaults must shrink the schedule: %+v", warm)
+	}
+}
+
+func TestSynthesizeTelescopicTopology(t *testing.T) {
+	// The sizing engine is topology-generic: a relaxed late stage
+	// synthesizes with the telescopic cascode through the full hybrid
+	// flow (DC bias, Mason loop TF, transient settling).
+	adc := stagespec.ADCSpec{Bits: 10, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specs[3] // fourth stage: low gain requirement suits the telescopic
+	proc := pdk.TSMC025()
+	res, err := Synthesize(spec, proc, Options{
+		Seed: 13, MaxEvals: 120, PatternIter: 60,
+		Mode: hybrid.Hybrid, Topology: opamp.Telescopic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizing.Topology() != opamp.Telescopic {
+		t.Fatalf("result topology = %s", res.Sizing.Topology())
+	}
+	if res.Metrics.Power <= 0 {
+		t.Fatalf("power = %g", res.Metrics.Power)
+	}
+	if res.Metrics.AmpGain < 50 {
+		t.Fatalf("telescopic gain %g implausibly low", res.Metrics.AmpGain)
+	}
+	if !res.Metrics.Settled {
+		t.Fatalf("telescopic stage did not settle: %+v", res.Report.Failures)
+	}
+}
