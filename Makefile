@@ -1,0 +1,25 @@
+# Build/test/verification lanes. `make ci` is the gate the parallel
+# scheduler must keep green: vet + full tests + the race-detector lane.
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race lane: short mode keeps the seconds-long hybrid studies out, while
+# the scheduler, cache, and parallel-study tests all still run under the
+# detector.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: vet test race

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -138,6 +139,74 @@ func BenchmarkFig3Rules(b *testing.B) {
 			b.ReportMetric(float64(r.LastBits), fmt.Sprintf("mLast_%dbit", r.Bits))
 		}
 	}
+}
+
+// BenchmarkOptimizeSerialVsParallel measures the parallel study engine
+// against the serial baseline on the same 10-bit hybrid-mode study: the
+// DAG scheduler fans the independent MDAC design points (and restarts)
+// across cores, and the studies are bit-identical, so the time ratio of
+// the two sub-benchmarks is the pure scheduling speedup (≈ min(cores,
+// points) on a multicore host; ≈ 1 on a single core). The third
+// sub-benchmark replays the study through the content-addressed cache
+// and reports its near-zero evaluator calls.
+func BenchmarkOptimizeSerialVsParallel(b *testing.B) {
+	parOpts := func() core.Options {
+		return core.Options{
+			Bits: 10, SampleRate: 40e6, Mode: hybrid.Hybrid,
+			Synth: synth.Options{Seed: 7, MaxEvals: 60, PatternIter: 30, Restarts: 2},
+		}
+	}
+	var serialBest, parallelBest float64
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := parOpts()
+			opts.Workers = 1
+			st, err := core.Optimize(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			serialBest = st.Best.TotalPower
+			b.ReportMetric(float64(st.TotalEvals), "evals")
+		}
+	})
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := core.Optimize(parOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			parallelBest = st.Best.TotalPower
+			b.ReportMetric(float64(st.TotalEvals), "evals")
+		}
+	})
+	if serialBest != 0 && parallelBest != 0 && serialBest != parallelBest {
+		b.Fatalf("parallel study diverged: %.9g vs serial %.9g", parallelBest, serialBest)
+	}
+	b.Run("warm-cache", func(b *testing.B) {
+		cache, err := synth.NewCache(0, b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prime := parOpts()
+		prime.Synth.Cache = cache
+		if _, err := core.Optimize(prime); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts := parOpts()
+			opts.Synth.Cache = cache
+			st, err := core.Optimize(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.TotalEvals != 0 {
+				b.Fatalf("warm run spent %d evaluator calls", st.TotalEvals)
+			}
+			b.ReportMetric(float64(st.CacheHits), "cache_hits")
+			b.ReportMetric(float64(st.TotalEvals), "evals")
+		}
+	})
 }
 
 // BenchmarkRetargetColdVsWarm reproduces the §4 setup-time claim: a warm-

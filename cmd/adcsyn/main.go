@@ -7,6 +7,13 @@
 //
 //	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
+//	       [-workers 0] [-cache-dir DIR]
+//
+// -workers bounds the parallel synthesis scheduler (0 = all cores,
+// 1 = serial); every setting produces the same study bit for bit.
+// -cache-dir enables the content-addressed synthesis cache backed by the
+// given directory, so re-running the same study replays its design
+// points without evaluator calls.
 package main
 
 import (
@@ -33,16 +40,28 @@ func main() {
 	seed := flag.Int64("seed", 7, "random seed")
 	verify := flag.Bool("verify", false, "run a behavioral sine test on the best configuration")
 	withSHA := flag.Bool("sha", false, "also synthesize the front-end sample-and-hold")
+	workers := flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = no cache)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
 		fatal(err)
 	}
+	var cache *synth.Cache
+	if *cacheDir != "" {
+		cache, err = synth.NewCache(0, *cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	opts := core.Options{
 		Bits: *bits, SampleRate: *fs, VRef: *vref, Mode: mode, Retarget: *retarget,
-		IncludeSHA: *withSHA,
-		Synth:      synth.Options{Seed: *seed, MaxEvals: *evals, PatternIter: *pattern, Restarts: *restarts},
+		IncludeSHA: *withSHA, Workers: *workers,
+		Synth: synth.Options{
+			Seed: *seed, MaxEvals: *evals, PatternIter: *pattern,
+			Restarts: *restarts, Cache: cache,
+		},
 	}
 	t0 := time.Now()
 	st, err := core.Optimize(opts)
@@ -51,8 +70,14 @@ func main() {
 	}
 	fmt.Printf("pipesyn topology optimization — %d-bit %.0f MSPS (%s mode)\n",
 		*bits, *fs/1e6, mode)
-	fmt.Printf("elapsed %s, %d evaluator calls, %d MDAC design points (%d paper classes)\n\n",
+	fmt.Printf("elapsed %s, %d evaluator calls, %d MDAC design points (%d paper classes)\n",
 		time.Since(t0).Round(time.Millisecond), st.TotalEvals, len(st.MDACs), st.PaperMDACClasses)
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("synthesis cache: %d hits (%d from disk), %d misses in %s\n",
+			st.CacheHits, cs.DiskHits, st.CacheMisses, *cacheDir)
+	}
+	fmt.Println()
 	if err := report.Fig1(os.Stdout, st); err != nil {
 		fatal(err)
 	}

@@ -33,13 +33,22 @@ func main() {
 	quick := flag.Bool("quick", false, "small synthesis budgets (smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV after each figure")
 	seed := flag.Int64("seed", 7, "random seed")
+	workers := flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = no cache)")
 	flag.Parse()
 
 	budget := synth.Options{Seed: *seed, MaxEvals: 180, PatternIter: 90, Restarts: 2}
 	if *quick {
 		budget = synth.Options{Seed: *seed, MaxEvals: 40, PatternIter: 20}
 	}
-	g := &generator{budget: budget, csv: *csv, quick: *quick}
+	if *cacheDir != "" {
+		cache, err := synth.NewCache(0, *cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		budget.Cache = cache
+	}
+	g := &generator{budget: budget, csv: *csv, quick: *quick, workers: *workers}
 
 	switch *fig {
 	case "1":
@@ -63,9 +72,10 @@ func main() {
 }
 
 type generator struct {
-	budget synth.Options
-	csv    bool
-	quick  bool
+	budget  synth.Options
+	csv     bool
+	quick   bool
+	workers int
 
 	study13 *core.Study // cached across figures
 }
@@ -73,6 +83,7 @@ type generator struct {
 func (g *generator) opts(bits int) core.Options {
 	return core.Options{
 		Bits: bits, SampleRate: 40e6, Mode: hybrid.Hybrid, Synth: g.budget,
+		Workers: g.workers,
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"pipesyn/internal/hybrid"
 	"pipesyn/internal/opamp"
 	"pipesyn/internal/pdk"
+	"pipesyn/internal/sched"
 	"pipesyn/internal/sha"
 	"pipesyn/internal/stagespec"
 	"pipesyn/internal/subadc"
@@ -54,6 +55,16 @@ type Options struct {
 	// excludes it from the comparison figures for that reason) and is
 	// reported separately on the Study.
 	IncludeSHA bool
+	// Workers bounds the concurrent synthesis workers. Design points,
+	// their restarts, and (in a Sweep) the per-resolution studies all
+	// draw from the same budget. 0 = GOMAXPROCS, 1 = fully serial. Every
+	// worker count produces bit-identical studies: per-key seeds are
+	// fixed by sorted key order, warm-start sources are scheduled as DAG
+	// dependencies, and all reductions happen in key order.
+	Workers int
+	// Pool supplies an existing shared worker budget instead of Workers
+	// (Sweep threads its pool through every study).
+	Pool *sched.Pool
 }
 
 func (o *Options) fillDefaults() {
@@ -115,6 +126,11 @@ type Study struct {
 	// (stage, resolution) pairs across the candidates (11 for 13 bits).
 	PaperMDACClasses int
 	TotalEvals       int
+	// CacheHits / CacheMisses count how many of this study's syntheses
+	// (design points plus the S/H, when included) were replayed from the
+	// content-addressed cache versus searched fresh. Both stay zero when
+	// no cache is configured on Options.Synth.Cache.
+	CacheHits, CacheMisses int
 	// SHA is the synthesized front-end sample-and-hold (nil unless
 	// Options.IncludeSHA); its power adds to every candidate equally.
 	SHA *synth.Result
@@ -180,54 +196,99 @@ func Optimize(opts Options) (*Study, error) {
 		Bits: opts.Bits, SampleRate: opts.SampleRate,
 		PaperMDACClasses: len(enum.DistinctMDACs(cands)),
 	}
-	results := map[DesignPoint]*synth.Result{}
-	warmCandidates := func(key DesignPoint) []DesignPoint {
-		var out []DesignPoint
-		for prev := range results {
-			if prev.Stage == key.Stage-1 && prev.Bits == key.Bits {
-				out = append(out, prev)
-			}
-		}
-		for prev := range results {
-			if prev.Stage == key.Stage && prev.Bits == key.Bits-1 {
-				out = append(out, prev)
-			}
-		}
-		return out
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.NewPool(opts.Workers)
 	}
-	for i, key := range keys {
-		sOpts := opts.Synth
-		sOpts.Mode = opts.Mode
-		sOpts.Seed = opts.Synth.Seed + int64(i+1)
-		var warmKey *DesignPoint
-		if opts.Retarget {
-			for _, try := range warmCandidates(key) {
-				if prev := results[try]; prev != nil && prev.Feasible {
-					sOpts.WarmStart = prev.Sizing
-					k := try
-					warmKey = &k
-					break
+
+	// Warm-start candidates for key i, in deterministic preference order:
+	// first the same resolution one stage earlier, then the previous
+	// resolution at the same stage — considering only keys that precede i
+	// in sorted order, exactly the results the serial flow would have in
+	// hand. Under Retarget these become the DAG edges: a design point
+	// dispatches once its potential warm sources are done, so the
+	// parallel schedule picks the same seed the serial one does.
+	warmIdx := make([][]int, len(keys))
+	if opts.Retarget {
+		for i, key := range keys {
+			for j := 0; j < i; j++ {
+				if prev := keys[j]; prev.Stage == key.Stage-1 && prev.Bits == key.Bits {
+					warmIdx[i] = append(warmIdx[i], j)
+				}
+			}
+			for j := 0; j < i; j++ {
+				if prev := keys[j]; prev.Stage == key.Stage && prev.Bits == key.Bits-1 {
+					warmIdx[i] = append(warmIdx[i], j)
 				}
 			}
 		}
-		res, err := synth.Synthesize(specOf[key], opts.Process, sOpts)
-		if err != nil {
-			return nil, fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
-		}
-		results[key] = res
-		study.TotalEvals += res.Evals
-		study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: res, WarmFrom: warmKey})
 	}
 
-	// Cost every candidate from the shared design-point results.
+	resArr := make([]*synth.Result, len(keys))
+	warmFrom := make([]*DesignPoint, len(keys))
+	nodes := make([]sched.Node, len(keys))
+	for i := range keys {
+		i := i
+		key := keys[i]
+		deps := warmIdx[i]
+		nodes[i] = sched.Node{Deps: deps, Run: func() error {
+			sOpts := opts.Synth
+			sOpts.Mode = opts.Mode
+			sOpts.Seed = opts.Synth.Seed + int64(i+1)
+			sOpts.Pool = pool
+			if opts.Retarget {
+				for _, j := range deps {
+					if prev := resArr[j]; prev != nil && prev.Feasible {
+						sOpts.WarmStart = prev.Sizing
+						k := keys[j]
+						warmFrom[i] = &k
+						break
+					}
+				}
+			}
+			res, err := synth.Synthesize(specOf[key], opts.Process, sOpts)
+			if err != nil {
+				return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
+			}
+			resArr[i] = res
+			return nil
+		}}
+	}
+	if err := sched.Run(pool, nodes); err != nil {
+		return nil, err
+	}
+	results := map[DesignPoint]*synth.Result{}
+	for i, key := range keys {
+		res := resArr[i]
+		results[key] = res
+		study.TotalEvals += res.Evals
+		if opts.Synth.Cache != nil {
+			if res.CacheHit {
+				study.CacheHits++
+			} else {
+				study.CacheMisses++
+			}
+		}
+		study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: res, WarmFrom: warmFrom[i]})
+	}
+
+	// Cost every candidate from the shared design-point results. The
+	// comparator bank depends only on the design point, so it is designed
+	// once per key and shared across the candidates that contain it.
+	banks := make(map[DesignPoint]subadc.Bank, len(keys))
 	for i, cfg := range cands {
 		cr := CandidateResult{Config: cfg, AllFeasible: true}
 		for _, sp := range specsByCand[i] {
 			key := DesignPoint{Stage: sp.Stage, Bits: sp.Bits, PriorBits: sp.PriorBits}
 			res := results[key]
-			bank, err := subadc.Design(sp, opts.Process, opts.SampleRate)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s stage %d sub-ADC: %w", cfg, sp.Stage, err)
+			bank, ok := banks[key]
+			if !ok {
+				var err error
+				bank, err = subadc.Design(sp, opts.Process, opts.SampleRate)
+				if err != nil {
+					return nil, fmt.Errorf("core: %s stage %d sub-ADC: %w", cfg, sp.Stage, err)
+				}
+				banks[key] = bank
 			}
 			sr := StageResult{
 				Stage: sp.Stage, Bits: sp.Bits,
@@ -261,28 +322,51 @@ func Optimize(opts Options) (*Study, error) {
 		sOpts := opts.Synth
 		sOpts.Mode = opts.Mode
 		sOpts.Seed = opts.Synth.Seed + 7919
+		sOpts.Pool = pool
 		res, err := sha.Synthesize(adc, specsByCand[0][0].CSample, opts.Process, sOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: S/H synthesis: %w", err)
 		}
 		study.SHA = res
 		study.TotalEvals += res.Evals
+		if opts.Synth.Cache != nil {
+			if res.CacheHit {
+				study.CacheHits++
+			} else {
+				study.CacheMisses++
+			}
+		}
 	}
 	return study, nil
 }
 
 // Sweep runs studies across target resolutions (the paper's 10–13 bit
-// exploration, Fig. 2).
+// exploration, Fig. 2). The per-resolution studies are independent, so
+// they run concurrently under one shared worker budget; each study is
+// still bit-identical to its serial run, and errors surface for the
+// lowest-index resolution that failed.
 func Sweep(bits []int, base Options) ([]*Study, error) {
-	out := make([]*Study, 0, len(bits))
-	for _, k := range bits {
+	pool := base.Pool
+	if pool == nil {
+		pool = sched.NewPool(base.Workers)
+	}
+	out := make([]*Study, len(bits))
+	errs := make([]error, len(bits))
+	pool.ForEach(len(bits), func(i int) {
 		o := base
-		o.Bits = k
+		o.Bits = bits[i]
+		o.Pool = pool
 		st, err := Optimize(o)
 		if err != nil {
-			return nil, fmt.Errorf("core: %d-bit study: %w", k, err)
+			errs[i] = fmt.Errorf("core: %d-bit study: %w", bits[i], err)
+			return
 		}
-		out = append(out, st)
+		out[i] = st
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"pipesyn/internal/enum"
@@ -142,6 +143,145 @@ func TestBehavioralCheck(t *testing.T) {
 	// equation-mode static errors are optimistic, so allow a wide floor.
 	if m.ENOB < 7.5 || m.ENOB > 10.2 {
 		t.Fatalf("behavioral ENOB = %.2f, outside plausible band", m.ENOB)
+	}
+}
+
+// TestOptimizeParallelMatchesSerial is the scheduler's determinism
+// guarantee: any worker count reproduces the serial study bit-identically
+// — same candidate ordering, same powers, same per-key sizings — both
+// cold and under retargeting (where warm sources are DAG dependencies).
+func TestOptimizeParallelMatchesSerial(t *testing.T) {
+	for _, retarget := range []bool{false, true} {
+		opts := eqOpts(13)
+		opts.Retarget = retarget
+		opts.Workers = 1
+		serial, err := Optimize(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			opts := eqOpts(13)
+			opts.Retarget = retarget
+			opts.Workers = workers
+			par, err := Optimize(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Best.Config.String() != serial.Best.Config.String() {
+				t.Fatalf("retarget=%v workers=%d: best %s != serial %s",
+					retarget, workers, par.Best.Config, serial.Best.Config)
+			}
+			if par.TotalEvals != serial.TotalEvals {
+				t.Fatalf("retarget=%v workers=%d: evals %d != serial %d",
+					retarget, workers, par.TotalEvals, serial.TotalEvals)
+			}
+			if len(par.Candidates) != len(serial.Candidates) {
+				t.Fatalf("candidate count differs")
+			}
+			for i := range serial.Candidates {
+				a, b := serial.Candidates[i], par.Candidates[i]
+				if a.Config.String() != b.Config.String() || a.TotalPower != b.TotalPower {
+					t.Fatalf("retarget=%v workers=%d: candidate %d differs: %s %.9g vs %s %.9g",
+						retarget, workers, i, a.Config, a.TotalPower, b.Config, b.TotalPower)
+				}
+			}
+			if !reflect.DeepEqual(serial.MDACs, par.MDACs) {
+				t.Fatalf("retarget=%v workers=%d: per-key MDAC records differ", retarget, workers)
+			}
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial checks the concurrent per-resolution
+// studies against the serial sweep.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serialBase := eqOpts(0)
+	serialBase.Workers = 1
+	serial, err := Sweep([]int{10, 11, 12}, serialBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBase := eqOpts(0)
+	parBase.Workers = 4
+	par, err := Sweep([]int{10, 11, 12}, parBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("sweep lengths differ")
+	}
+	for i := range serial {
+		if par[i].Bits != serial[i].Bits ||
+			par[i].Best.Config.String() != serial[i].Best.Config.String() ||
+			par[i].Best.TotalPower != serial[i].Best.TotalPower {
+			t.Fatalf("study %d differs: %d-bit %s %.9g vs %d-bit %s %.9g",
+				i, serial[i].Bits, serial[i].Best.Config, serial[i].Best.TotalPower,
+				par[i].Bits, par[i].Best.Config, par[i].Best.TotalPower)
+		}
+	}
+}
+
+// TestOptimizeCacheSecondRunSkipsEvals exercises the content-addressed
+// cache through the full study flow: the second run replays every
+// synthesis (TotalEvals → 0), and a fresh cache over the same directory
+// round-trips through the disk store.
+func TestOptimizeCacheSecondRunSkipsEvals(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := synth.NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eqOpts(12)
+	opts.Synth.Cache = cache
+
+	cold, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.TotalEvals == 0 {
+		t.Fatal("cold run did no work")
+	}
+	if cold.CacheHits != 0 || cold.CacheMisses != len(cold.MDACs) {
+		t.Fatalf("cold run counters: %d hits, %d misses over %d points",
+			cold.CacheHits, cold.CacheMisses, len(cold.MDACs))
+	}
+
+	warm, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalEvals != 0 {
+		t.Fatalf("warm run spent %d evals, want 0", warm.TotalEvals)
+	}
+	if warm.CacheHits != len(warm.MDACs) || warm.CacheMisses != 0 {
+		t.Fatalf("warm run counters: %d hits, %d misses over %d points",
+			warm.CacheHits, warm.CacheMisses, len(warm.MDACs))
+	}
+	if warm.Best.Config.String() != cold.Best.Config.String() ||
+		warm.Best.TotalPower != cold.Best.TotalPower {
+		t.Fatalf("cached study diverged: %s %.9g vs %s %.9g",
+			warm.Best.Config, warm.Best.TotalPower, cold.Best.Config, cold.Best.TotalPower)
+	}
+
+	// Fresh process simulation: a brand-new cache over the same directory
+	// must serve everything from disk.
+	cache2, err := synth.NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Synth.Cache = cache2
+	disk, err := Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.TotalEvals != 0 || disk.CacheHits != len(disk.MDACs) {
+		t.Fatalf("disk round-trip: %d evals, %d hits", disk.TotalEvals, disk.CacheHits)
+	}
+	if st := cache2.Stats(); st.DiskHits != int64(len(disk.MDACs)) {
+		t.Fatalf("disk hits = %d, want %d", st.DiskHits, len(disk.MDACs))
+	}
+	if disk.Best.TotalPower != cold.Best.TotalPower {
+		t.Fatal("disk-cached study diverged from the cold run")
 	}
 }
 

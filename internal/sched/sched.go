@@ -1,0 +1,211 @@
+// Package sched provides the shared concurrency substrate for the
+// synthesis engine: a bounded worker budget (Pool) and a deterministic
+// DAG runner (Run) for design points whose warm-start sources must
+// complete before they dispatch.
+//
+// The paper's flow is embarrassingly parallel almost everywhere — the
+// ~20 exact MDAC design points of a study, the independent restarts of
+// one synthesis, and the per-resolution studies of a sweep are all
+// independent evaluator-bound work — except for retargeting, where a
+// design point prefers to seed from a neighbouring completed result.
+// sched models that preference as an explicit dependency edge so the
+// parallel schedule sees exactly the warm sources the serial schedule
+// would, which is what makes the parallel study bit-identical to the
+// serial one.
+//
+// Deadlock freedom under nesting (a sweep running studies, each study
+// running design points, each design point running restarts, all on one
+// Pool) comes from a simple rule: no caller ever blocks waiting for a
+// token. A worker slot is acquired with TryAcquire only, and the calling
+// goroutine always executes work itself, so forward progress never
+// depends on a token being released.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a shared bounded budget of extra worker goroutines. A Pool
+// with N workers allows at most N-1 spawned helpers: the calling
+// goroutine is always the N-th worker, which is what makes nested use
+// (study → design point → restarts on one Pool) deadlock-free.
+type Pool struct {
+	workers int
+	tokens  chan struct{}
+}
+
+// NewPool sizes a budget of `workers` concurrent executors. workers <= 0
+// defaults to GOMAXPROCS; workers == 1 makes every ForEach and Run fully
+// serial on the calling goroutine, in deterministic index order.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, tokens: make(chan struct{}, workers-1)}
+}
+
+// Workers reports the configured concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// TryAcquire claims a helper slot without blocking. Callers that get a
+// slot must Release it when the helper goroutine exits.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (p *Pool) Release() { <-p.tokens }
+
+// ForEach runs f(i) for every i in [0, n), spreading the calls over the
+// calling goroutine plus as many helpers as the pool can spare right
+// now. With a 1-worker pool the calls happen inline in index order.
+func (p *Pool) ForEach(n int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 1; spawned < n && p.TryAcquire(); spawned++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.Release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Node is one unit of DAG work. Deps lists the indices of nodes that
+// must complete before this one runs — for a retargeting study, the
+// design points this node would consider as warm-start seeds.
+type Node struct {
+	Deps []int
+	Run  func() error
+}
+
+// Run executes the nodes respecting dependency edges, with at most
+// pool.Workers() nodes in flight. Ready nodes dispatch lowest-index
+// first, so a 1-worker pool reproduces the serial schedule exactly.
+//
+// Once any node fails, no further nodes start (in-flight ones finish);
+// Run returns the error of the lowest-index failed node, which is
+// deterministic regardless of worker count.
+func Run(pool *Pool, nodes []Node) error {
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, nd := range nodes {
+		for _, d := range nd.Deps {
+			if d < 0 || d >= n {
+				return fmt.Errorf("sched: node %d depends on out-of-range node %d", i, d)
+			}
+			if d >= i {
+				// Edges must point backwards: warm sources precede their
+				// consumers in sorted key order, and this rules out cycles.
+				return fmt.Errorf("sched: node %d depends on later node %d", i, d)
+			}
+			indeg[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	ready := make([]bool, n)
+	readyCount := 0
+	for i := range nodes {
+		if indeg[i] == 0 {
+			ready[i] = true
+			readyCount++
+		}
+	}
+	popMin := func() int {
+		for i := range ready {
+			if ready[i] {
+				ready[i] = false
+				readyCount--
+				return i
+			}
+		}
+		return -1
+	}
+
+	errs := make([]error, n)
+	done := make(chan int, n) // buffered: workers never block reporting
+	completed := 0
+	failed := false
+	finish := func(i int) {
+		completed++
+		if errs[i] != nil {
+			failed = true
+		}
+		for _, d := range dependents[i] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready[d] = true
+				readyCount++
+			}
+		}
+	}
+
+	// Every edge points backwards (d < i), so the graph is acyclic and the
+	// dispatcher always finds either a ready node or an in-flight one
+	// until all n have finished.
+	inFlight := 0
+	for completed < n {
+		// Spawn helpers for ready nodes while the pool has spare slots.
+		for readyCount > 0 && !failed && pool.TryAcquire() {
+			i := popMin()
+			inFlight++
+			go func(i int) {
+				defer pool.Release()
+				errs[i] = nodes[i].Run()
+				done <- i
+			}(i)
+		}
+		if readyCount > 0 {
+			// No spare slot (or aborting): the dispatcher works too.
+			// After a failure this branch drains the remaining nodes
+			// without running them.
+			i := popMin()
+			if !failed {
+				errs[i] = nodes[i].Run()
+			}
+			finish(i)
+			continue
+		}
+		i := <-done
+		inFlight--
+		finish(i)
+	}
+	return firstErr(errs)
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDefaultsAndBounds(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("default pool has %d workers", w)
+	}
+	p := NewPool(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	// 3 workers = caller + 2 helper slots.
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("could not claim the two helper slots")
+	}
+	if p.TryAcquire() {
+		t.Fatal("claimed a third helper slot from a 3-worker pool")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		var hits [100]atomic.Int32
+		p.ForEach(len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	p.ForEach(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("1-worker ForEach out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	p.ForEach(64, func(i int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		for k := 0; k < 1000; k++ {
+			_ = k * k
+		}
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks from a %d-worker pool", got, workers)
+	}
+}
+
+// TestForEachNestedDoesNotDeadlock is the sweep→study→restart shape: every
+// outer task fans out again on the same pool.
+func TestForEachNestedDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int32
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested ForEach ran %d of 64 tasks", total.Load())
+	}
+}
+
+func TestRunRespectsDeps(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		const n = 30
+		var doneAt [n]atomic.Int64
+		var clock atomic.Int64
+		nodes := make([]Node, n)
+		for i := 0; i < n; i++ {
+			i := i
+			var deps []int
+			if i >= 2 {
+				deps = []int{i - 2}
+			}
+			nodes[i] = Node{Deps: deps, Run: func() error {
+				for _, d := range nodes[i].Deps {
+					if doneAt[d].Load() == 0 {
+						t.Errorf("node %d ran before dep %d", i, d)
+					}
+				}
+				doneAt[i].Store(clock.Add(1))
+				return nil
+			}}
+		}
+		if err := Run(p, nodes); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range doneAt {
+			if doneAt[i].Load() == 0 {
+				t.Fatalf("workers=%d: node %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunSerialOrderWithOneWorker(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	nodes := make([]Node, 12)
+	for i := range nodes {
+		i := i
+		nodes[i] = Node{Run: func() error { order = append(order, i); return nil }}
+	}
+	if err := Run(p, nodes); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial DAG out of order: %v", order)
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		nodes := []Node{
+			{Run: func() error { return nil }},
+			{Run: func() error { return errA }},
+			{Run: func() error { return errB }},
+			{Deps: []int{1}, Run: func() error { t.Error("dependent of failed node ran"); return nil }},
+		}
+		err := Run(NewPool(workers), nodes)
+		if !errors.Is(err, errA) && !errors.Is(err, errB) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if workers == 1 && !errors.Is(err, errA) {
+			t.Fatalf("serial run must surface the first error, got %v", err)
+		}
+	}
+}
+
+func TestRunRejectsForwardAndBogusEdges(t *testing.T) {
+	ok := func() error { return nil }
+	if err := Run(NewPool(1), []Node{{Deps: []int{1}, Run: ok}, {Run: ok}}); err == nil {
+		t.Fatal("forward edge accepted")
+	}
+	if err := Run(NewPool(1), []Node{{Deps: []int{-1}, Run: ok}}); err == nil {
+		t.Fatal("negative edge accepted")
+	}
+	if err := Run(NewPool(1), nil); err != nil {
+		t.Fatalf("empty DAG: %v", err)
+	}
+}
+
+// TestRunManyNodesUnderRace gives the race detector a dense interleaving
+// to chew on (the `make race` CI lane).
+func TestRunManyNodesUnderRace(t *testing.T) {
+	p := NewPool(8)
+	const n = 200
+	results := make([]int, n)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		i := i
+		var deps []int
+		if i > 0 {
+			deps = append(deps, (i-1)/2) // binary-tree shape
+		}
+		nodes[i] = Node{Deps: deps, Run: func() error {
+			v := i
+			for _, d := range nodes[i].Deps {
+				v += results[d] // cross-goroutine read through the DAG edge
+			}
+			results[i] = v
+			return nil
+		}}
+	}
+	if err := Run(p, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != 0 {
+		t.Fatal("root result wrong")
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != i+results[(i-1)/2] {
+			t.Fatalf("node %d result %d, want %d", i, results[i], i+results[(i-1)/2])
+		}
+	}
+	_ = fmt.Sprint(results[n-1])
+}

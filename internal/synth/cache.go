@@ -1,0 +1,230 @@
+// Content-addressed result cache for the sizing engine. A synthesis is a
+// pure function of (block spec, process, optimizer options, topology), so
+// its result can be keyed by a hash of those inputs and replayed for
+// free: regenerating figures, re-running a sweep, or retargeting a study
+// all hit the same design points again. The warm-start seed is
+// deliberately excluded from the key — warm and cold runs of the same
+// request are interchangeable answers to the same question, which is
+// what turns a retarget study over cached specs into pure cache hits.
+package synth
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/stagespec"
+)
+
+func init() {
+	// Result.Sizing is an interface; gob needs the concrete cells.
+	gob.Register(opamp.MillerSizing{})
+	gob.Register(opamp.TelescopicSizing{})
+}
+
+// CacheKey computes the content address of a synthesis request: a
+// SHA-256 over the block spec, the process name, and the normalized
+// optimizer options. WarmStart is excluded (see package comment), and so
+// are the execution knobs (Workers, Pool, Cache) that cannot change the
+// result. Keys are stable across processes, so a disk store written by
+// one run is valid for every later one.
+func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
+	opts.WarmStart = nil
+	opts.Workers = 0
+	opts.Pool = nil
+	opts.Cache = nil
+	opts.defaults() // normalize zero fields without the warm-start shrink
+	procName := ""
+	if proc != nil {
+		procName = proc.Name
+	}
+	blob, err := json.Marshal(struct {
+		Spec                         stagespec.MDACSpec
+		Process                      string
+		Seed                         int64
+		MaxEvals, PatternIter        int
+		Restarts                     int
+		InitTemp, CoolRate, PenaltyW float64
+		Mode, Topology               int
+	}{spec, procName, opts.Seed, opts.MaxEvals, opts.PatternIter,
+		opts.Restarts, opts.InitTemp, opts.CoolRate, opts.PenaltyW,
+		int(opts.Mode), int(opts.Topology)})
+	if err != nil {
+		// Only value fields above; Marshal cannot fail. Keep the
+		// signature clean and make any future regression loud.
+		panic(fmt.Sprintf("synth: cache key marshal: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheStats counts cache traffic since construction.
+type CacheStats struct {
+	Hits     int64 // Get calls answered (memory or disk)
+	DiskHits int64 // subset of Hits served from the on-disk store
+	Misses   int64 // Get calls that found nothing
+	Puts     int64
+	Evicted  int64 // LRU evictions from the in-memory tier
+}
+
+// Cache is a content-addressed synthesis result store: an in-memory LRU
+// in front of an optional on-disk gob store. Safe for concurrent use by
+// the parallel scheduler.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	res Result
+}
+
+// DefaultCacheEntries bounds the in-memory tier when NewCache is given a
+// non-positive size: generous for a full multi-resolution sweep (tens of
+// design points per study) while staying a few megabytes at most.
+const DefaultCacheEntries = 4096
+
+// NewCache builds a cache holding up to maxEntries results in memory.
+// A non-empty dir adds a persistent gob store (created if missing):
+// misses fall through to disk, and every Put is written through.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("synth: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		max:     maxEntries,
+		dir:     dir,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}, nil
+}
+
+// Get returns a copy of the cached result for key, consulting memory
+// first and then the disk store.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.stats.Hits++
+		c.mu.Unlock()
+		return &res, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if res, err := c.loadDisk(key); err == nil {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.insertLocked(key, *res)
+			c.mu.Unlock()
+			return res, true
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a copy of res under key, writing through to the disk store
+// when one is configured. Disk failures are non-fatal: the cache is an
+// accelerator, not a source of truth.
+func (c *Cache) Put(key string, res *Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Puts++
+	c.insertLocked(key, *res)
+	c.mu.Unlock()
+	if c.dir != "" {
+		_ = c.storeDisk(key, res)
+	}
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) insertLocked(key string, res Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evicted++
+	}
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".gob")
+}
+
+func (c *Cache) loadDisk(key string) (*Result, error) {
+	blob, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("synth: corrupt cache entry %s: %w", key, err)
+	}
+	return &res, nil
+}
+
+func (c *Cache) storeDisk(key string, res *Result) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return err
+	}
+	// Write-rename so concurrent readers never see a torn entry.
+	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.diskPath(key))
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+)
+
+func TestCacheKeyStability(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	opts := Options{Seed: 7, MaxEvals: 100, PatternIter: 50, Mode: hybrid.Hybrid}
+	key := CacheKey(spec, proc, opts)
+	if key == "" || len(key) != 64 {
+		t.Fatalf("key = %q", key)
+	}
+	if CacheKey(spec, proc, opts) != key {
+		t.Fatal("key not deterministic")
+	}
+
+	// Execution knobs and the warm-start seed must not move the key.
+	same := opts
+	same.Workers = 8
+	same.Cache, _ = NewCache(1, "")
+	same.WarmStart = opamp.MillerSizing{W1: 1e-6}
+	if CacheKey(spec, proc, same) != key {
+		t.Fatal("Workers/Cache/WarmStart leaked into the key")
+	}
+	// Zero options normalize to their defaults, so explicit defaults
+	// share the address with implied ones.
+	implied := Options{Seed: 7, MaxEvals: 100, PatternIter: 50, Mode: hybrid.Hybrid}
+	implied.InitTemp = 0
+	explicit := implied
+	explicit.InitTemp = 2 // the documented default
+	if CacheKey(spec, proc, implied) != CacheKey(spec, proc, explicit) {
+		t.Fatal("default normalization failed")
+	}
+
+	// Everything that shapes the result must move the key.
+	for name, mutate := range map[string]func(*Options){
+		"seed":     func(o *Options) { o.Seed++ },
+		"budget":   func(o *Options) { o.MaxEvals++ },
+		"mode":     func(o *Options) { o.Mode = hybrid.EquationOnly },
+		"topology": func(o *Options) { o.Topology = opamp.Telescopic },
+		"restarts": func(o *Options) { o.Restarts = 3 },
+	} {
+		m := opts
+		mutate(&m)
+		if CacheKey(spec, proc, m) == key {
+			t.Fatalf("%s change did not change the key", name)
+		}
+	}
+	spec2 := spec
+	spec2.GBWMin *= 1.01
+	if CacheKey(spec2, proc, opts) == key {
+		t.Fatal("spec change did not change the key")
+	}
+	if CacheKey(spec, pdk.TSMC025(), opts) != key {
+		t.Fatal("same-named process must share the key")
+	}
+}
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	res := &Result{Cost: 1, Evals: 10, Sizing: opamp.MillerSizing{W1: 2e-6}}
+	c.Put("a", res)
+	got, ok := c.Get("a")
+	if !ok || got.Cost != 1 || got.Evals != 10 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+	// Returned result is a copy: mutating it must not poison the cache.
+	got.Cost = 99
+	if again, _ := c.Get("a"); again.Cost != 1 {
+		t.Fatal("cache entry aliased by caller mutation")
+	}
+
+	c.Put("b", &Result{Cost: 2})
+	c.Get("a") // refresh a → b is now least recent
+	c.Put("c", &Result{Cost: 3})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU kept the least-recent entry")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("LRU evicted the refreshed entry")
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 4 || st.Evicted != 1 || st.Puts != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Result{
+		Sizing:   opamp.MillerSizing{W1: 3e-6, IRef: 20e-6, CC: 1e-13},
+		Feasible: true, Evals: 123, Cost: 0.5, EvalsToFeasible: 9,
+		Report: hybrid.SpecReport{Failures: []string{"x"}},
+	}
+	c1.Put("deadbeef", want)
+
+	// A separate cache instance over the same directory stands in for a
+	// fresh process: the entry must come back from disk, byte-faithful.
+	c2, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok {
+		t.Fatal("disk miss")
+	}
+	if got.Cost != want.Cost || got.Evals != want.Evals || !got.Feasible {
+		t.Fatalf("got %+v", got)
+	}
+	sz, isMiller := got.Sizing.(opamp.MillerSizing)
+	if !isMiller || sz.W1 != 3e-6 || sz.IRef != 20e-6 {
+		t.Fatalf("sizing did not round-trip: %#v", got.Sizing)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Second Get is served from memory.
+	c2.Get("deadbeef")
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A corrupt entry is a miss, not a crash.
+	if err := os.WriteFile(filepath.Join(dir, "bad.gob"), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("bad"); ok {
+		t.Fatal("corrupt entry served")
+	}
+}
+
+// TestSynthesizeCacheHitSkipsEvaluator drives the cache through
+// Synthesize itself: the second identical request replays the result
+// with zero evaluator calls, warm-start differences notwithstanding.
+func TestSynthesizeCacheHitSkipsEvaluator(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	cache, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Seed: 3, MaxEvals: 200, PatternIter: 60,
+		Mode: hybrid.EquationOnly, Cache: cache,
+	}
+	cold, err := Synthesize(spec, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit || cold.Evals == 0 {
+		t.Fatalf("cold run: hit=%v evals=%d", cold.CacheHit, cold.Evals)
+	}
+	warm, err := Synthesize(spec, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.Evals != 0 {
+		t.Fatalf("warm run: hit=%v evals=%d", warm.CacheHit, warm.Evals)
+	}
+	if warm.Cost != cold.Cost || warm.Feasible != cold.Feasible {
+		t.Fatal("cached result differs from the original")
+	}
+	// A warm-started request for the same spec is the same content
+	// address — the retarget flow turns into a cache hit too.
+	retarget := opts
+	retarget.WarmStart = cold.Sizing
+	hit, err := Synthesize(spec, proc, retarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("warm-started request missed the cache")
+	}
+	if st := cache.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

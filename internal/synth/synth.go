@@ -21,6 +21,7 @@ import (
 	"pipesyn/internal/mdac"
 	"pipesyn/internal/opamp"
 	"pipesyn/internal/pdk"
+	"pipesyn/internal/sched"
 	"pipesyn/internal/stagespec"
 )
 
@@ -39,6 +40,20 @@ type Options struct {
 	// and keeps the best outcome; use >1 when the power comparison must
 	// be low-variance (the figure-reproduction sweeps do).
 	Restarts int
+
+	// Workers bounds the goroutines fanning the restarts out. Each
+	// restart owns a deterministic RNG (Seed + r·9973) and the outcomes
+	// reduce in restart order, so the result is identical for any worker
+	// count. 0 or 1 runs serially.
+	Workers int
+	// Pool, when set, supplies a shared worker budget instead of Workers
+	// — the study scheduler passes its own pool down so a whole sweep
+	// respects one machine-wide bound. Never part of the cache key.
+	Pool *sched.Pool
+	// Cache, when set, short-circuits Synthesize with a previous result
+	// for the same content address (see CacheKey) and records new
+	// results for later runs. Never part of the cache key.
+	Cache *Cache
 }
 
 func (o *Options) defaults() {
@@ -74,50 +89,101 @@ type Result struct {
 	Metrics  hybrid.Metrics
 	Report   hybrid.SpecReport
 	Feasible bool
-	Evals    int     // evaluator calls spent
+	Evals    int     // evaluator calls spent (0 when served from the cache)
 	Cost     float64 // final scalar cost
 	// EvalsToFeasible is the evaluation count at which the first feasible
 	// candidate appeared (0 when the start point was already feasible,
 	// -1 when none was found) — the mechanized analogue of the paper's
 	// setup-time comparison.
 	EvalsToFeasible int
+	// CacheHit marks a result replayed from Options.Cache instead of a
+	// fresh search; Evals is 0 on such results.
+	CacheHit bool
 }
+
+// runRestart is the single-restart pipeline behind Synthesize; a
+// package variable so tests can inject restart failures and verify the
+// evaluation accounting.
+var runRestart = synthesizeOnce
 
 // Synthesize sizes the MDAC amplifier for the given stage spec at minimum
 // power subject to the block constraints. With Restarts > 1 the whole
-// pipeline repeats from fresh seeds and the best outcome wins.
+// pipeline repeats from fresh seeds — in parallel when Workers or Pool
+// allow — and the best outcome wins. The reduction over restarts happens
+// in restart order, so the result does not depend on the worker count.
 func Synthesize(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, error) {
+	var cacheKey string
+	if opts.Cache != nil {
+		cacheKey = CacheKey(spec, proc, opts)
+		if res, ok := opts.Cache.Get(cacheKey); ok {
+			res.CacheHit = true
+			res.Evals = 0 // no evaluator calls were spent this run
+			if res.EvalsToFeasible > 0 {
+				res.EvalsToFeasible = 0
+			}
+			return res, nil
+		}
+	}
 	opts.defaults()
-	var best *Result
-	totalEvals := 0
-	firstFeasibleAt := -1
-	for r := 0; r < opts.Restarts; r++ {
+
+	type restartOut struct {
+		res   *Result
+		evals int
+		err   error
+	}
+	outs := make([]restartOut, opts.Restarts)
+	oneRestart := func(r int) {
 		runOpts := opts
 		runOpts.Restarts = 1
 		runOpts.Seed = opts.Seed + int64(r)*9973
-		res, err := synthesizeOnce(spec, proc, runOpts)
-		if err != nil {
-			if best != nil {
-				continue
-			}
-			if r == opts.Restarts-1 {
-				return nil, err
+		res, evals, err := runRestart(spec, proc, runOpts)
+		outs[r] = restartOut{res: res, evals: evals, err: err}
+	}
+	if opts.Restarts > 1 && (opts.Pool != nil || opts.Workers > 1) {
+		pool := opts.Pool
+		if pool == nil {
+			pool = sched.NewPool(opts.Workers)
+		}
+		pool.ForEach(opts.Restarts, oneRestart)
+	} else {
+		for r := 0; r < opts.Restarts; r++ {
+			oneRestart(r)
+		}
+	}
+
+	var best *Result
+	var firstErr error
+	totalEvals := 0
+	firstFeasibleAt := -1
+	for _, out := range outs {
+		// Failed restarts still spent evaluator calls; count them so
+		// Evals reflects the true search cost and EvalsToFeasible offsets
+		// don't drift when an earlier restart errored out.
+		totalEvals += out.evals
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
 			}
 			continue
 		}
-		if res.EvalsToFeasible >= 0 && firstFeasibleAt < 0 {
-			firstFeasibleAt = totalEvals + res.EvalsToFeasible
+		if out.res.EvalsToFeasible >= 0 && firstFeasibleAt < 0 {
+			firstFeasibleAt = totalEvals - out.evals + out.res.EvalsToFeasible
 		}
-		totalEvals += res.Evals
-		if best == nil || betterResult(res, best) {
-			best = res
+		if best == nil || betterResult(out.res, best) {
+			best = out.res
 		}
 	}
 	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		return nil, fmt.Errorf("synth: all restarts failed for stage %d (%d-bit)", spec.Stage, spec.Bits)
 	}
 	best.Evals = totalEvals
 	best.EvalsToFeasible = firstFeasibleAt
+	if opts.Cache != nil {
+		opts.Cache.Put(cacheKey, best)
+	}
 	return best, nil
 }
 
@@ -129,7 +195,10 @@ func betterResult(a, b *Result) bool {
 	return a.Cost < b.Cost
 }
 
-func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, error) {
+// synthesizeOnce runs one anneal+polish pipeline. It reports the
+// evaluator calls spent alongside the result so callers can account for
+// the search cost of failed restarts too.
+func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	eqSeed, err := opamp.Initial(opts.Topology, proc, opamp.BlockSpec{
@@ -137,7 +206,7 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 		CFeed: spec.CFeed, Gain: spec.GainMin, Swing: spec.SwingMin,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW)
 	best := ev.score(eqSeed)
@@ -189,7 +258,7 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 	best = patternSearch(ev, best, opts.PatternIter, proc, &firstFeasible)
 
 	if math.IsInf(best.cost, 1) {
-		return nil, fmt.Errorf("synth: no candidate evaluated successfully for stage %d (%d-bit)",
+		return nil, ev.evals, fmt.Errorf("synth: no candidate evaluated successfully for stage %d (%d-bit)",
 			spec.Stage, spec.Bits)
 	}
 	return &Result{
@@ -200,7 +269,7 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 		Evals:           ev.evals,
 		Cost:            best.cost,
 		EvalsToFeasible: firstFeasible,
-	}, nil
+	}, ev.evals, nil
 }
 
 // scored couples a sizing with its evaluation.

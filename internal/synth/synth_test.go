@@ -1,7 +1,9 @@
 package synth
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"pipesyn/internal/enum"
@@ -92,6 +94,105 @@ func TestWarmStartUsesFewerEvals(t *testing.T) {
 	if warm.Evals >= cold.Evals {
 		t.Fatalf("warm start spent %d evals, cold %d — retargeting saved nothing",
 			warm.Evals, cold.Evals)
+	}
+}
+
+// TestParallelRestartsMatchSerial: the restart fan-out reduces in
+// restart order with per-restart seeds, so the worker count cannot
+// change the outcome.
+func TestParallelRestartsMatchSerial(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	base := Options{
+		Seed: 17, MaxEvals: 500, PatternIter: 100,
+		Mode: hybrid.EquationOnly, Restarts: 4,
+	}
+	serial, err := Synthesize(spec, proc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		opts := base
+		opts.Workers = workers
+		par, err := Synthesize(spec, proc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d diverged: serial cost %.12g evals %d, parallel cost %.12g evals %d",
+				workers, serial.Cost, serial.Evals, par.Cost, par.Evals)
+		}
+	}
+}
+
+// TestFailedRestartEvalsCounted: a restart that errors after burning
+// evaluator calls must still contribute to Evals, and EvalsToFeasible of
+// later restarts must be offset by that spent budget.
+func TestFailedRestartEvalsCounted(t *testing.T) {
+	orig := runRestart
+	defer func() { runRestart = orig }()
+
+	const failedEvals = 37
+	var calls int
+	runRestart = func(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
+		calls++
+		if calls == 1 {
+			// First restart: dies mid-search with partial work spent.
+			return nil, failedEvals, errors.New("injected restart failure")
+		}
+		return orig(spec, proc, opts)
+	}
+
+	spec, proc := lateStageSpec(t)
+	res, err := Synthesize(spec, proc, Options{
+		Seed: 23, MaxEvals: 300, PatternIter: 60,
+		Mode: hybrid.EquationOnly, Restarts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("runRestart called %d times, want 2", calls)
+	}
+
+	// Reference: the surviving restart alone (restart index 1 has seed
+	// base + 9973, reproduced here by shifting the base seed).
+	alone, err := Synthesize(spec, proc, Options{
+		Seed: 23 + 9973, MaxEvals: 300, PatternIter: 60,
+		Mode: hybrid.EquationOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != alone.Evals+failedEvals {
+		t.Fatalf("Evals = %d, want %d survivor evals + %d failed evals",
+			res.Evals, alone.Evals, failedEvals)
+	}
+	if alone.EvalsToFeasible >= 0 && res.EvalsToFeasible != alone.EvalsToFeasible+failedEvals {
+		t.Fatalf("EvalsToFeasible = %d, want %d offset by the %d failed evals",
+			res.EvalsToFeasible, alone.EvalsToFeasible, failedEvals)
+	}
+}
+
+// TestAllRestartsFailedSurfacesFirstError: when nothing survives, the
+// first restart's error comes back regardless of scheduling.
+func TestAllRestartsFailedSurfacesFirstError(t *testing.T) {
+	orig := runRestart
+	defer func() { runRestart = orig }()
+	errFirst := errors.New("first failure")
+	var calls int
+	runRestart = func(stagespec.MDACSpec, *pdk.Process, Options) (*Result, int, error) {
+		calls++
+		if calls == 1 {
+			return nil, 5, errFirst
+		}
+		return nil, 5, errors.New("later failure")
+	}
+	spec, proc := lateStageSpec(t)
+	_, err := Synthesize(spec, proc, Options{
+		Seed: 29, MaxEvals: 50, Mode: hybrid.EquationOnly, Restarts: 3,
+	})
+	if !errors.Is(err, errFirst) {
+		t.Fatalf("err = %v, want the first restart's error", err)
 	}
 }
 
