@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet race bench bench-figures ci
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,20 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
+# Kernel/evaluator benchmark lane: the la factor/solve kernels, the
+# compiled transfer-function evaluator, the sim analyses, and the
+# end-to-end MDAC operating-point/settling/AC benchmarks, recorded as
+# go-test JSON events in BENCH_kernels.json for before/after comparison.
 bench:
+	$(GO) test -json -bench=. -benchmem -run='^$$' \
+		./internal/la ./internal/expr ./internal/sim > BENCH_kernels.json
+	$(GO) test -json -bench='^Benchmark(OP|TranSettle|ACSweep)$$' -benchmem -run='^$$' . \
+		>> BENCH_kernels.json
+	@grep -F 'ns/op' BENCH_kernels.json \
+		| sed -E 's/.*"Test":"([^"]*)".*"Output":"(\1)? *([^"]*)\\n"\}/\1\t\3/; s/\\t/   /g'
+
+# Paper-figure benchmarks (root package only, human-readable).
+bench-figures:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 ci: vet test race

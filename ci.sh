@@ -7,3 +7,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -short ./...
+# Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
+# so perf-path regressions (panics, singular matrices) surface in CI
+# without paying for a full measurement run.
+go test -bench=. -benchtime=1x -run='^$' ./internal/la ./internal/expr ./internal/sim
+go test -bench='^Benchmark(OP|TranSettle|ACSweep)$' -benchtime=1x -run='^$' .

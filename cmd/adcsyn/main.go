@@ -8,18 +8,23 @@
 //	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
 //	       [-workers 0] [-cache-dir DIR]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers bounds the parallel synthesis scheduler (0 = all cores,
 // 1 = serial); every setting produces the same study bit for bit.
 // -cache-dir enables the content-addressed synthesis cache backed by the
 // given directory, so re-running the same study replays its design
 // points without evaluator calls.
+// -cpuprofile/-memprofile write pprof profiles of the optimization run
+// for `go tool pprof`; the memory profile is taken after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pipesyn/internal/core"
@@ -42,11 +47,32 @@ func main() {
 	withSHA := flag.Bool("sha", false, "also synthesize the front-end sample-and-hold")
 	workers := flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = no cache)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
 		fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal exits via os.Exit, which skips defers; register the
+		// flush so a failed run still leaves a usable profile.
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPU()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
 	}
 	var cache *synth.Cache
 	if *cacheDir != "" {
@@ -118,7 +144,25 @@ func parseMode(s string) (hybrid.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
+// stopCPU flushes the CPU profile; fatal calls it because os.Exit skips
+// the deferred flush in main.
+var stopCPU = func() {}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adcsyn: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // report live allocations, not GC noise
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "adcsyn: memprofile:", err)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "adcsyn:", err)
+	stopCPU()
 	os.Exit(1)
 }

@@ -73,6 +73,30 @@ func BenchmarkEvalCCompiled(b *testing.B) {
 	}
 }
 
+func BenchmarkEvalCInto(b *testing.B) {
+	tf := ladderTF(8)
+	env := ladderEnv(8, 1)
+	prog, vars, err := tf.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]complex128, len(vars))
+	for i, name := range vars {
+		if name == "s" {
+			vals[i] = complex(0, 1e9)
+		} else {
+			vals[i] = complex(env[name], 0)
+		}
+	}
+	var buf EvalBuf
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.EvalCInto(&buf, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDiff(b *testing.B) {
 	tf := ladderTF(8)
 	b.ResetTimer()

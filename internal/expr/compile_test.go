@@ -128,3 +128,94 @@ func TestCompilePowNegative(t *testing.T) {
 		t.Fatalf("x^-2 at 2 = %v", got)
 	}
 }
+
+// TestCompileCSE checks that a shared subexpression is computed once and
+// re-loaded from a register, and that the optimized program agrees with
+// tree evaluation bit-for-bit.
+func TestCompileCSE(t *testing.T) {
+	// d appears twice: the Mason numerator/denominator shape.
+	d := Add(V("x"), Mul(V("y"), V("s")))
+	e := Div(d, Add(One, Mul(d, V("k"))))
+	prog, vars, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.nreg == 0 {
+		t.Fatal("expected the shared subexpression to be assigned a register")
+	}
+	env := map[string]complex128{
+		"x": complex(0.7, 0), "y": complex(2e-12, 0),
+		"s": complex(0, 6e9), "k": complex(0.25, 0),
+	}
+	vals := make([]complex128, len(vars))
+	for i, name := range vars {
+		vals[i] = env[name]
+	}
+	want, err := e.EvalC(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.EvalC(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("compiled %v != tree %v", got, want)
+	}
+}
+
+// TestCompileConstantFolding checks that constant subtrees collapse to a
+// single push with the runtime's accumulation semantics preserved.
+func TestCompileConstantFolding(t *testing.T) {
+	// Pow of a sum of constants survives the constructors un-folded
+	// (Add folds, but Pow of the folded constant folds via math.Pow in
+	// the constructor) — build one the constructors cannot fold: the
+	// product carries a variable that multiplies to a constant-free
+	// position, while the 3-term constant chain folds in compile.
+	e := Expr{kind: kMul, args: []Expr{C(2), C(3), V("x"), C(0.5)}}
+	prog, vars, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 1 || vars[0] != "x" {
+		t.Fatalf("vars = %v", vars)
+	}
+	got, err := prog.EvalC([]complex128{complex(7, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.EvalC(map[string]complex128{"x": complex(7, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("compiled %v != tree %v", got, want)
+	}
+}
+
+// TestEvalCIntoDoesNotAllocate pins the hot-loop contract: with a warm
+// buffer, evaluation performs zero heap allocations.
+func TestEvalCIntoDoesNotAllocate(t *testing.T) {
+	d := Add(V("x"), Mul(V("y"), V("s")))
+	e := Div(d, Add(One, Mul(d, V("k"))))
+	prog, vars, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]complex128, len(vars))
+	for i := range vals {
+		vals[i] = complex(1+float64(i), 0.5)
+	}
+	var buf EvalBuf
+	if _, err := prog.EvalCInto(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := prog.EvalCInto(&buf, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalCInto allocates %g objects per run, want 0", allocs)
+	}
+}

@@ -354,11 +354,14 @@ func (se *StageEvaluator) sweepProgram(env map[string]float64, fLo, fHi float64,
 	}
 	freqs := make([]float64, n)
 	vals := make([]complex128, n)
+	// Per-call (not per-evaluator) buffer: evaluators are shared across
+	// the parallel scheduler's workers, the buffer must not be.
+	var buf expr.EvalBuf
 	for i := 0; i < n; i++ {
 		f := fLo * math.Pow(10, decades*float64(i)/float64(n-1))
 		freqs[i] = f
 		slot[se.sIdx] = complex(0, 2*math.Pi*f)
-		v, err := se.prog.EvalC(slot)
+		v, err := se.prog.EvalCInto(&buf, slot)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -26,8 +26,24 @@ func randomSystem(n int, seed int64) (*Matrix, []float64) {
 	return a, b
 }
 
-// MNA matrices in this project are ~20×20; benchmark that regime.
+// MNA matrices in this project are ~20×20; benchmark that regime using
+// the workspace-reusing path every solver hot loop runs on.
 func BenchmarkFactorSolve20(b *testing.B) {
+	a, rhs := randomSystem(20, 1)
+	var f LU
+	x := make([]float64, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.FactorInto(a); err != nil {
+			b.Fatal(err)
+		}
+		f.SolveInto(x, rhs)
+	}
+}
+
+// BenchmarkFactorSolve20Alloc keeps the legacy allocate-per-call path
+// measured so the workspace win stays visible in BENCH_kernels.json.
+func BenchmarkFactorSolve20Alloc(b *testing.B) {
 	a, rhs := randomSystem(20, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -39,7 +55,7 @@ func BenchmarkFactorSolve20(b *testing.B) {
 	}
 }
 
-func BenchmarkCFactorSolve20(b *testing.B) {
+func complexSystem() (*CMatrix, []complex128) {
 	ar, rhs := randomSystem(20, 2)
 	a := NewCMatrix(20, 20)
 	for i := 0; i < 20; i++ {
@@ -51,6 +67,24 @@ func BenchmarkCFactorSolve20(b *testing.B) {
 	for i := range cb {
 		cb[i] = complex(rhs[i], 0)
 	}
+	return a, cb
+}
+
+func BenchmarkCFactorSolve20(b *testing.B) {
+	a, cb := complexSystem()
+	var f CLU
+	x := make([]complex128, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.FactorInto(a); err != nil {
+			b.Fatal(err)
+		}
+		f.SolveInto(x, cb)
+	}
+}
+
+func BenchmarkCFactorSolve20Alloc(b *testing.B) {
+	a, cb := complexSystem()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := CFactor(a)

@@ -60,21 +60,58 @@ func (m *CMatrix) MulVec(x []complex128) []complex128 {
 	return y
 }
 
-// CLU is the complex analogue of LU.
+// CLU is the complex analogue of LU. Like LU, the zero value is a
+// reusable workspace: FactorInto refactors in place, so an AC or noise
+// sweep holding one CLU allocates nothing after the first frequency.
 type CLU struct {
 	lu    *CMatrix
 	piv   []int
 	signs int
 }
 
-// CFactor computes a partial-pivot LU factorization of the complex matrix a.
+// CFactor computes a partial-pivot LU factorization of the complex matrix
+// a (not modified). Sweeps that refactor at every frequency point should
+// hold a CLU and call FactorInto instead.
 func CFactor(a *CMatrix) (*CLU, error) {
+	f := &CLU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ensure readies the workspace for an n×n factorization, reusing the
+// existing backing storage whenever it is large enough.
+func (f *CLU) ensure(n int) {
+	if f.lu == nil {
+		f.lu = &CMatrix{}
+	}
+	f.lu.Rows, f.lu.Cols = n, n
+	if cap(f.lu.Data) < n*n {
+		f.lu.Data = make([]complex128, n*n)
+	} else {
+		f.lu.Data = f.lu.Data[:n*n]
+	}
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	} else {
+		f.piv = f.piv[:n]
+	}
+}
+
+// FactorInto recomputes the factorization of a inside f's workspace,
+// allocating only when the workspace must grow. a is not modified. On
+// ErrSingular the workspace contents are undefined but f remains usable
+// for the next FactorInto call.
+func (f *CLU) FactorInto(a *CMatrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("la: CFactor requires square matrix, got %d×%d", a.Rows, a.Cols)
+		return fmt.Errorf("la: CFactor requires square matrix, got %d×%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f.ensure(n)
+	lu := f.lu
+	copy(lu.Data, a.Data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -98,7 +135,7 @@ func CFactor(a *CMatrix) (*CLU, error) {
 			}
 		}
 		if pm <= tol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			ri, rk := lu.Data[p*n:(p+1)*n], lu.Data[k*n:(k+1)*n]
@@ -122,16 +159,24 @@ func CFactor(a *CMatrix) (*CLU, error) {
 			}
 		}
 	}
-	return &CLU{lu: lu, piv: piv, signs: sign}, nil
+	f.signs = sign
+	return nil
 }
 
 // Solve returns x with A·x = b.
 func (f *CLU) Solve(b []complex128) []complex128 {
+	x := make([]complex128, f.lu.Rows)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto writes the solution of A·x = b into x without allocating.
+// x must not alias b; b is not modified.
+func (f *CLU) SolveInto(x, b []complex128) {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("la: Solve dimension mismatch")
 	}
-	x := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -151,7 +196,6 @@ func (f *CLU) Solve(b []complex128) []complex128 {
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // Det returns det(A).

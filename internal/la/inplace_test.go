@@ -1,0 +1,266 @@
+package la
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	// Diagonal dominance keeps random systems comfortably nonsingular.
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func randCMatrix(rng *rand.Rand, n int) *CMatrix {
+	m := NewCMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for i := 0; i < n; i++ {
+		m.Add(i, i, complex(float64(n), 0))
+	}
+	return m
+}
+
+// TestFactorIntoMatchesFactor checks that the reusable workspace path
+// produces exactly the solutions and determinants of the legacy
+// allocate-per-call API on random systems of varying size, including
+// reuse of one workspace across different matrix sizes.
+func TestFactorIntoMatchesFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ws LU
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(24)
+		a := randMatrix(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		legacy, err := Factor(a)
+		if err != nil {
+			t.Fatalf("trial %d: Factor: %v", trial, err)
+		}
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		want := legacy.Solve(b)
+		got := make([]float64, n)
+		ws.SolveInto(got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): solution[%d] = %g, legacy %g", trial, n, i, got[i], want[i])
+			}
+		}
+		if d, dw := legacy.Det(), ws.Det(); d != dw {
+			t.Fatalf("trial %d: Det %g != legacy %g", trial, dw, d)
+		}
+	}
+}
+
+func TestCFactorIntoMatchesCFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ws CLU
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(24)
+		a := randCMatrix(rng, n)
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		legacy, err := CFactor(a)
+		if err != nil {
+			t.Fatalf("trial %d: CFactor: %v", trial, err)
+		}
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		want := legacy.Solve(b)
+		got := make([]complex128, n)
+		ws.SolveInto(got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): solution[%d] = %g, legacy %g", trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFactorIntoOneByOne(t *testing.T) {
+	var ws LU
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, 4)
+	if err := ws.FactorInto(a); err != nil {
+		t.Fatalf("FactorInto: %v", err)
+	}
+	x := make([]float64, 1)
+	ws.SolveInto(x, []float64{8})
+	if x[0] != 2 {
+		t.Fatalf("1×1 solve: got %g, want 2", x[0])
+	}
+	if d := ws.Det(); d != 4 {
+		t.Fatalf("1×1 det: got %g, want 4", d)
+	}
+
+	var cws CLU
+	ca := NewCMatrix(1, 1)
+	ca.Set(0, 0, complex(0, 2))
+	if err := cws.FactorInto(ca); err != nil {
+		t.Fatalf("complex FactorInto: %v", err)
+	}
+	cx := make([]complex128, 1)
+	cws.SolveInto(cx, []complex128{complex(0, 4)})
+	if cx[0] != 2 {
+		t.Fatalf("complex 1×1 solve: got %g, want 2", cx[0])
+	}
+}
+
+// TestFactorIntoSingularRecovers checks that a singular pivot reports
+// ErrSingular, and that the same workspace factors a healthy matrix
+// afterwards (the documented contract: workspace stays usable).
+func TestFactorIntoSingularRecovers(t *testing.T) {
+	var ws LU
+	sing := NewMatrix(2, 2)
+	sing.Set(0, 0, 1)
+	sing.Set(0, 1, 2)
+	sing.Set(1, 0, 2)
+	sing.Set(1, 1, 4) // rank 1
+	if err := ws.FactorInto(sing); err != ErrSingular {
+		t.Fatalf("singular matrix: got %v, want ErrSingular", err)
+	}
+	zero := NewMatrix(3, 3)
+	if err := ws.FactorInto(zero); err != ErrSingular {
+		t.Fatalf("zero matrix: got %v, want ErrSingular", err)
+	}
+	good := NewMatrix(2, 2)
+	good.Set(0, 0, 2)
+	good.Set(1, 1, 3)
+	if err := ws.FactorInto(good); err != nil {
+		t.Fatalf("healthy refactor after singular: %v", err)
+	}
+	x := make([]float64, 2)
+	ws.SolveInto(x, []float64{4, 9})
+	if x[0] != 2 || x[1] != 3 {
+		t.Fatalf("solve after recovery: got %v, want [2 3]", x)
+	}
+
+	var cws CLU
+	csing := NewCMatrix(2, 2)
+	csing.Set(0, 0, 1)
+	csing.Set(0, 1, complex(0, 1))
+	csing.Set(1, 0, 2)
+	csing.Set(1, 1, complex(0, 2))
+	if err := cws.FactorInto(csing); err != ErrSingular {
+		t.Fatalf("complex singular: got %v, want ErrSingular", err)
+	}
+	cgood := NewCMatrix(1, 1)
+	cgood.Set(0, 0, complex(0, 1))
+	if err := cws.FactorInto(cgood); err != nil {
+		t.Fatalf("complex refactor after singular: %v", err)
+	}
+}
+
+func TestFactorIntoNonSquare(t *testing.T) {
+	var ws LU
+	if err := ws.FactorInto(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square real matrix accepted")
+	}
+	var cws CLU
+	if err := cws.FactorInto(NewCMatrix(3, 2)); err == nil {
+		t.Fatal("non-square complex matrix accepted")
+	}
+}
+
+// TestFactorIntoDoesNotAllocateSteadyState pins down the acceptance
+// criterion directly: once the workspace is sized, factor+solve cycles
+// on same-size systems are allocation-free.
+func TestFactorIntoDoesNotAllocateSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20
+	a := randMatrix(rng, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var ws LU
+	if err := ws.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.SolveInto(x, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("real factor+solve allocates %g objects per run, want 0", allocs)
+	}
+
+	ca := randCMatrix(rng, n)
+	cb := make([]complex128, n)
+	cx := make([]complex128, n)
+	var cws CLU
+	if err := cws.FactorInto(ca); err != nil {
+		t.Fatal(err)
+	}
+	callocs := testing.AllocsPerRun(100, func() {
+		if err := cws.FactorInto(ca); err != nil {
+			t.Fatal(err)
+		}
+		cws.SolveInto(cx, cb)
+	})
+	if callocs != 0 {
+		t.Fatalf("complex factor+solve allocates %g objects per run, want 0", callocs)
+	}
+}
+
+// Residual sanity on the reused workspace (the equivalence tests above
+// compare against legacy output; this one checks A·x ≈ b directly).
+func TestSolveIntoResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ws LU
+	var cws CLU
+	for _, n := range []int{1, 2, 7, 20, 3} {
+		a := randMatrix(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		ws.SolveInto(x, b)
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Fatalf("n=%d: residual %g at row %d", n, ax[i]-b[i], i)
+			}
+		}
+
+		ca := randCMatrix(rng, n)
+		cb := make([]complex128, n)
+		for i := range cb {
+			cb[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := cws.FactorInto(ca); err != nil {
+			t.Fatal(err)
+		}
+		cx := make([]complex128, n)
+		cws.SolveInto(cx, cb)
+		cax := ca.MulVec(cx)
+		for i := range cb {
+			if cmplx.Abs(cax[i]-cb[i]) > 1e-10 {
+				t.Fatalf("n=%d: complex residual %g at row %d", n, cmplx.Abs(cax[i]-cb[i]), i)
+			}
+		}
+	}
+}

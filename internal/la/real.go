@@ -88,6 +88,12 @@ func (m *Matrix) String() string {
 // LU holds an LU factorization with partial pivoting of a square matrix:
 // P·A = L·U with unit-diagonal L stored below the diagonal of lu and U on
 // and above it.
+//
+// The zero value is a reusable factorization workspace: FactorInto grows
+// its storage on demand and refactors in place, so a long-lived LU held
+// by a solver loop (one Newton iteration, one frequency point) performs
+// no heap allocation after the first call, even when successive matrices
+// change size.
 type LU struct {
 	lu    *Matrix
 	piv   []int
@@ -96,14 +102,48 @@ type LU struct {
 
 // Factor computes the LU decomposition of a (which is not modified).
 // It returns ErrSingular when a pivot is smaller than roughly machine
-// epsilon times the largest row magnitude.
+// epsilon times the largest row magnitude. Hot paths that refactor at
+// every iteration should hold an LU and call FactorInto instead.
 func Factor(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ensure readies the workspace for an n×n factorization, reusing the
+// existing backing storage whenever it is large enough.
+func (f *LU) ensure(n int) {
+	if f.lu == nil {
+		f.lu = &Matrix{}
+	}
+	f.lu.Rows, f.lu.Cols = n, n
+	if cap(f.lu.Data) < n*n {
+		f.lu.Data = make([]float64, n*n)
+	} else {
+		f.lu.Data = f.lu.Data[:n*n]
+	}
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	} else {
+		f.piv = f.piv[:n]
+	}
+}
+
+// FactorInto recomputes the factorization of a inside f's workspace,
+// allocating only when the workspace must grow. a is not modified. On
+// ErrSingular the workspace contents are undefined but f remains usable
+// for the next FactorInto call.
+func (f *LU) FactorInto(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("la: Factor requires square matrix, got %d×%d", a.Rows, a.Cols)
+		return fmt.Errorf("la: Factor requires square matrix, got %d×%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f.ensure(n)
+	lu := f.lu
+	copy(lu.Data, a.Data)
+	piv := f.piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -129,7 +169,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if pm <= tol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			ri, rk := lu.Data[p*n:(p+1)*n], lu.Data[k*n:(k+1)*n]
@@ -153,16 +193,25 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, signs: sign}, nil
+	f.signs = sign
+	return nil
 }
 
 // Solve returns x with A·x = b. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.lu.Rows)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto writes the solution of A·x = b into x without allocating.
+// x must not alias b (the permuted load would corrupt the right-hand
+// side); b is not modified.
+func (f *LU) SolveInto(x, b []float64) {
 	n := f.lu.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("la: Solve dimension mismatch")
 	}
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -184,7 +233,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // Det returns det(A) from the factorization.

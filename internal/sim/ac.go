@@ -100,6 +100,45 @@ func logInterp(f0, f1, m0, m1, target float64) float64 {
 	return math.Pow(10, math.Log10(f0)+frac*(math.Log10(f1)-math.Log10(f0)))
 }
 
+// acEntry is one nonzero capacitive position in the small-signal system,
+// paired with the conductance sharing that position so the complex entry
+// can be rewritten (not accumulated) at each frequency.
+type acEntry struct {
+	idx  int // flat index into the dense matrix
+	g, c float64
+}
+
+// acSweep is the reusable (G + jωC) assembler shared by the AC and noise
+// sweeps. The complex matrix is seeded with complex(G, 0) once; setFreq
+// then rewrites only the sparse capacitive entries, so a sweep does no
+// per-frequency matrix assembly and (with CLU.FactorInto) no allocation.
+type acSweep struct {
+	a       *la.CMatrix
+	entries []acEntry
+	lu      la.CLU
+}
+
+func newACSweep(g, cap *la.Matrix) *acSweep {
+	s := &acSweep{a: la.NewCMatrix(g.Rows, g.Cols)}
+	for i, gv := range g.Data {
+		s.a.Data[i] = complex(gv, 0)
+	}
+	for i, cv := range cap.Data {
+		if cv != 0 {
+			s.entries = append(s.entries, acEntry{i, g.Data[i], cv})
+		}
+	}
+	return s
+}
+
+// setFreq updates the system matrix to G + jωC for angular frequency ω.
+func (s *acSweep) setFreq(omega float64) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		s.a.Data[e.idx] = complex(e.g, omega*e.c)
+	}
+}
+
 // AC performs a small-signal sweep about the operating point op.
 func AC(c *netlist.Circuit, op *DCResult, opts ACOpts) (*ACResult, error) {
 	if opts.FStart <= 0 || opts.FStop <= opts.FStart {
@@ -143,29 +182,20 @@ func AC(c *netlist.Circuit, op *DCResult, opts ACOpts) (*ACResult, error) {
 	if nPts < 2 {
 		nPts = 2
 	}
-	res := &ACResult{V: map[string][]complex128{}}
+	res := &ACResult{Freqs: make([]float64, 0, nPts), V: map[string][]complex128{}}
 	for name := range l.NodeIndex {
 		res.V[name] = make([]complex128, nPts)
 	}
-	a := la.NewCMatrix(n, n)
+	sys := newACSweep(g, cap)
+	x := make([]complex128, n)
 	for k := 0; k < nPts; k++ {
 		f := opts.FStart * math.Pow(10, decades*float64(k)/float64(nPts-1))
 		res.Freqs = append(res.Freqs, f)
-		omega := 2 * math.Pi * f
-		a.Zero()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				gv := g.At(i, j)
-				cv := cap.At(i, j)
-				if gv != 0 || cv != 0 {
-					a.Set(i, j, complex(gv, omega*cv))
-				}
-			}
-		}
-		x, err := la.CSolveSystem(a, b)
-		if err != nil {
+		sys.setFreq(2 * math.Pi * f)
+		if err := sys.lu.FactorInto(sys.a); err != nil {
 			return nil, fmt.Errorf("sim: AC solve failed at %g Hz: %w", f, err)
 		}
+		sys.lu.SolveInto(x, b)
 		for name, i := range l.NodeIndex {
 			res.V[name][k] = x[i]
 		}

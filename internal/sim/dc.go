@@ -159,22 +159,20 @@ func finishDC(cc *compiled, x []float64, iters int) *DCResult {
 
 // newton runs damped Newton–Raphson until the voltage update is below
 // tolerance. srcScale scales independent sources (for source stepping).
+// The loop runs entirely inside the compiled circuit's DC workspace:
+// each iteration copies the per-call baseline (constant stamps, gmin
+// shunts, scaled sources), stamps only the MOS companions, and factors
+// and solves in place — no heap allocation per iteration.
 func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]float64, int, error) {
-	n := cc.layout.Size
-	x := append([]float64(nil), x0...)
-	a := la.NewMatrix(n, n)
-	b := make([]float64, n)
+	ws := cc.dcWS()
+	ws.prepare(cc, gmin, srcScale, opts.SwitchPhase)
+	x := ws.x
+	copy(x, x0)
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		a.Zero()
-		for i := range b {
-			b[i] = 0
-		}
-		stampDC(cc, a, b, x, gmin, srcScale, opts.SwitchPhase)
-		f, err := la.Factor(a)
-		if err != nil {
+		if err := ws.iterate(cc); err != nil {
 			return nil, iter, fmt.Errorf("sim: singular MNA matrix: %w", err)
 		}
-		xNew := f.Solve(b)
+		xNew := ws.xNew
 		// Damped update: limit the largest node-voltage change.
 		maxDelta := 0.0
 		for i := 0; i < len(cc.layout.Nodes); i++ {
@@ -197,15 +195,20 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 			}
 		}
 		if converged && alpha == 1.0 {
-			return x, iter, nil
+			// Detach the solution from the workspace: callers hold it
+			// across later newton calls and in DCResult.
+			return append([]float64(nil), x...), iter, nil
 		}
 	}
 	return nil, opts.MaxIter, fmt.Errorf("sim: no convergence in %d iterations (state: %s)",
 		opts.MaxIter, cc.layout.describeState(x))
 }
 
-// stampDC assembles the linearized MNA system at candidate solution x.
-// Capacitors are open circuits in DC.
+// stampDC assembles the linearized MNA system at candidate solution x in
+// one pass over the element list. Capacitors are open circuits in DC.
+// The solver itself uses the split baseline+MOS kernel path (kernel.go);
+// this single-pass assembler is kept as the reference the kernel is
+// tested against (TestKernelStampMatchesReference).
 func stampDC(cc *compiled, a *la.Matrix, b []float64, x []float64, gmin, srcScale float64, switchPhase int) {
 	l := cc.layout
 	// Gmin shunts keep floating nodes (e.g. capacitively driven gates)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"pipesyn/internal/device"
+	"pipesyn/internal/la"
 	"pipesyn/internal/netlist"
 )
 
@@ -76,12 +77,22 @@ func (l *Layout) Voltage(x []float64, node string) float64 {
 
 // compiled is the per-simulation view of a circuit: elements paired with
 // their resolved device parameters so the assembly loop never re-parses
-// model cards.
+// model cards, plus the kernel layer (see kernel.go): element views with
+// pre-resolved MNA indices, the constant stamp shared by every analysis,
+// and the reusable solver workspaces.
 type compiled struct {
 	circuit  *netlist.Circuit
 	layout   *Layout
 	mos      map[string]device.MOSParams
 	switches map[string]device.SwitchParams
+
+	mosElems []mosElem
+	capElems []capElem
+	swElems  []swElem
+	srcElems []srcElem
+	constG   *la.Matrix         // R/VCVS/VCCS/V-branch stamps: no gmin, no switches
+	phaseG   map[int]*la.Matrix // constG + switch conductances, per clock phase
+	dcws     *dcWorkspace
 }
 
 func compile(c *netlist.Circuit) (*compiled, error) {
@@ -126,6 +137,7 @@ func compile(c *netlist.Circuit) (*compiled, error) {
 	if cc.layout.Size == 0 {
 		return nil, fmt.Errorf("sim: circuit %q has no unknowns", c.Title)
 	}
+	cc.buildKernel()
 	return cc, nil
 }
 

@@ -133,29 +133,24 @@ func Noise(c *netlist.Circuit, op *DCResult, opts NoiseOpts) (*NoiseResult, erro
 	if nPts < 2 {
 		nPts = 2
 	}
-	res := &NoiseResult{ByElement: map[string]float64{}}
-	a := la.NewCMatrix(n, n)
+	res := &NoiseResult{
+		Freqs:     make([]float64, 0, nPts),
+		PSD:       make([]float64, 0, nPts),
+		ByElement: map[string]float64{},
+	}
+	sys := newACSweep(g, cap)
 	b := make([]complex128, n)
+	x := make([]complex128, n)
+	perSrc := make([]float64, len(sources))
 	perSrcPrev := make([]float64, len(sources))
 	prevF, prevPSD := 0.0, 0.0
 	for k := 0; k < nPts; k++ {
 		f := opts.FStart * math.Pow(10, decades*float64(k)/float64(nPts-1))
-		omega := 2 * math.Pi * f
-		a.Zero()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				gv, cv := g.At(i, j), cap.At(i, j)
-				if gv != 0 || cv != 0 {
-					a.Set(i, j, complex(gv, omega*cv))
-				}
-			}
-		}
-		lu, err := la.CFactor(a)
-		if err != nil {
+		sys.setFreq(2 * math.Pi * f)
+		if err := sys.lu.FactorInto(sys.a); err != nil {
 			return nil, fmt.Errorf("sim: noise solve failed at %g Hz: %w", f, err)
 		}
 		total := 0.0
-		perSrc := make([]float64, len(sources))
 		for si, src := range sources {
 			for i := range b {
 				b[i] = 0
@@ -166,7 +161,7 @@ func Noise(c *netlist.Circuit, op *DCResult, opts NoiseOpts) (*NoiseResult, erro
 			if src.n >= 0 {
 				b[src.n] += 1
 			}
-			x := lu.Solve(b)
+			sys.lu.SolveInto(x, b)
 			h := cmplx.Abs(x[outIdx])
 			contrib := h * h * src.psd
 			perSrc[si] = contrib
@@ -182,7 +177,7 @@ func Noise(c *netlist.Circuit, op *DCResult, opts NoiseOpts) (*NoiseResult, erro
 			}
 		}
 		prevF, prevPSD = f, total
-		copy(perSrcPrev, perSrc)
+		perSrc, perSrcPrev = perSrcPrev, perSrc
 	}
 	return res, nil
 }

@@ -100,10 +100,144 @@ func ClockPhase(t, period, nonOverlap float64) int {
 	}
 }
 
-// capState carries the companion-model memory of one capacitor.
-type capState struct {
+// capRun carries the companion-model memory of one capacitor across the
+// accepted steps of a transient run.
+type capRun struct {
+	capElem
 	v float64 // voltage at previous accepted step
 	i float64 // current at previous accepted step (for trapezoidal)
+}
+
+// tranRun holds everything one transient analysis reuses across steps:
+// the capacitor companion memory and the step/iteration scratch buffers.
+// An accepted step performs no heap allocation; only the rare halving
+// rescue path allocates its midpoint state.
+type tranRun struct {
+	cc   *compiled
+	opts TranOpts
+	caps []capRun
+
+	stepA *la.Matrix // step baseline: phase stamps + gmin + companions + sources
+	stepB []float64
+	a     *la.Matrix // per-Newton-iteration system
+	b     []float64
+	xNew  []float64
+	lu    la.LU
+}
+
+func newTranRun(cc *compiled, opts TranOpts, x0 []float64) *tranRun {
+	n := cc.layout.Size
+	tr := &tranRun{
+		cc: cc, opts: opts,
+		stepA: la.NewMatrix(n, n), stepB: make([]float64, n),
+		a: la.NewMatrix(n, n), b: make([]float64, n),
+		xNew: make([]float64, n),
+	}
+	tr.caps = make([]capRun, len(cc.capElems))
+	for i, ce := range cc.capElems {
+		tr.caps[i] = capRun{capElem: ce, v: nodeV(x0, ce.p) - nodeV(x0, ce.n)}
+	}
+	return tr
+}
+
+// solveStep runs damped Newton for one step ending at time t with width
+// h, writing the converged state into dst (must not alias xFrom). The
+// step baseline — phase conductances, gmin shunts, capacitor companions,
+// sources at t — is assembled once; each Newton iteration copies it and
+// stamps only the MOS devices. The capacitor memory is not touched.
+func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrator) error {
+	cc := tr.cc
+	l := cc.layout
+	phase := ClockPhase(t, tr.opts.ClockPeriod, tr.opts.NonOverlap)
+	copy(tr.stepA.Data, cc.phaseBase(phase).Data)
+	for i := 0; i < len(l.Nodes); i++ {
+		tr.stepA.Add(i, i, 1e-12)
+	}
+	for i := range tr.stepB {
+		tr.stepB[i] = 0
+	}
+	for ci := range tr.caps {
+		st := &tr.caps[ci]
+		var geq, ieq float64
+		switch method {
+		case Trapezoidal:
+			geq = 2 * st.c / h
+			ieq = geq*st.v + st.i
+		case BackwardEuler:
+			geq = st.c / h
+			ieq = geq * st.v
+		}
+		stampConductance(tr.stepA, st.p, st.n, geq)
+		addRHS(tr.stepB, st.p, ieq)
+		addRHS(tr.stepB, st.n, -ieq)
+	}
+	stampSources(cc, tr.stepB, t)
+	copy(dst, xFrom)
+	for it := 0; it < tr.opts.MaxNewton; it++ {
+		copy(tr.a.Data, tr.stepA.Data)
+		copy(tr.b, tr.stepB)
+		stampMOSTran(cc, tr.a, tr.b, dst, xFrom, h)
+		if err := tr.lu.FactorInto(tr.a); err != nil {
+			return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
+		}
+		tr.lu.SolveInto(tr.xNew, tr.b)
+		sol := tr.xNew
+		maxStep := 0.0
+		for i := 0; i < len(l.Nodes); i++ {
+			if d := math.Abs(sol[i] - dst[i]); d > maxStep {
+				maxStep = d
+			}
+		}
+		// Damp large Newton excursions (a hard residue step can throw
+		// devices across regions; full steps then oscillate).
+		alpha := 1.0
+		const vLimit = 0.3
+		if maxStep > vLimit {
+			alpha = vLimit / maxStep
+		}
+		for i := range sol {
+			dst[i] += alpha * (sol[i] - dst[i])
+		}
+		if alpha == 1 && maxStep < 1e-6+1e-4*la.NormInf(dst) {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: transient Newton failed at t=%g", t)
+}
+
+// commitCaps advances the capacitor companion memory to the accepted
+// state xNew.
+func (tr *tranRun) commitCaps(xNew []float64, h float64, method Integrator) {
+	for ci := range tr.caps {
+		st := &tr.caps[ci]
+		vNew := nodeV(xNew, st.p) - nodeV(xNew, st.n)
+		switch method {
+		case Trapezoidal:
+			st.i = (2*st.c/h)*(vNew-st.v) - st.i
+		case BackwardEuler:
+			st.i = (st.c / h) * (vNew - st.v)
+		}
+		st.v = vNew
+	}
+}
+
+// advance integrates from tPrev to tPrev+h into dst, recursively halving
+// the step with backward Euler when Newton cannot converge (sharp source
+// edges and region changes are the usual culprits).
+func (tr *tranRun) advance(xFrom, dst []float64, tPrev, h float64, method Integrator, depth int) error {
+	err := tr.solveStep(dst, xFrom, tPrev+h, h, method)
+	if err == nil {
+		tr.commitCaps(dst, h, method)
+		return nil
+	}
+	if depth >= 10 {
+		return err
+	}
+	xMid := make([]float64, len(dst))
+	if err := tr.advance(xFrom, xMid, tPrev, h/2, BackwardEuler, depth+1); err != nil {
+		return err
+	}
+	return tr.advance(xMid, dst, tPrev+h/2, h/2, BackwardEuler, depth+1)
 }
 
 // Tran runs a fixed-step transient analysis. Each step solves the
@@ -139,109 +273,31 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 		copy(x, dc.x)
 	}
 
-	// Companion state per capacitor; MOS terminal caps get synthetic
-	// entries keyed by element name + terminal pair.
-	caps := map[string]*capState{}
-	for _, e := range cc.circuit.Elements {
-		if e.Type == netlist.Capacitor {
-			v0 := nodeV(x, l.idx(e.Nodes[0])) - nodeV(x, l.idx(e.Nodes[1]))
-			caps[e.Name] = &capState{v: v0}
-		}
-	}
+	run := newTranRun(cc, opts, x)
 
 	steps := int(math.Round(opts.TStop/opts.TStep)) + 1
-	res := &TranResult{V: map[string][]float64{}}
-	for name := range l.NodeIndex {
-		res.V[name] = make([]float64, 0, steps)
+	res := &TranResult{T: make([]float64, 0, steps), V: map[string][]float64{}}
+	// Recorder slots pair each waveform with its MNA row so the per-step
+	// record loop never iterates a map; every slice (res.T included) is
+	// preallocated to exactly `steps` samples, so appends never grow.
+	type recSlot struct {
+		name string
+		idx  int
+		w    []float64
+	}
+	slots := make([]recSlot, 0, len(l.NodeIndex))
+	for name, i := range l.NodeIndex {
+		slots = append(slots, recSlot{name, i, make([]float64, 0, steps)})
 	}
 	record := func(t float64, x []float64) {
 		res.T = append(res.T, t)
-		for name, i := range l.NodeIndex {
-			res.V[name] = append(res.V[name], x[i])
+		for si := range slots {
+			slots[si].w = append(slots[si].w, x[slots[si].idx])
 		}
 	}
 	record(0, x)
 
-	a := la.NewMatrix(n, n)
-	b := make([]float64, n)
-
-	// solveStep runs damped Newton for one step ending at time t with
-	// width h; it returns the converged state without touching x or the
-	// capacitor memory.
-	solveStep := func(xFrom []float64, t, h float64, method Integrator) ([]float64, error) {
-		phase := ClockPhase(t, opts.ClockPeriod, opts.NonOverlap)
-		xNew := append([]float64(nil), xFrom...)
-		for it := 0; it < opts.MaxNewton; it++ {
-			a.Zero()
-			for i := range b {
-				b[i] = 0
-			}
-			stampTran(cc, a, b, xNew, xFrom, caps, h, t, phase, method)
-			f, err := la.Factor(a)
-			if err != nil {
-				return nil, fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
-			}
-			sol := f.Solve(b)
-			maxStep := 0.0
-			for i := 0; i < len(l.Nodes); i++ {
-				if d := math.Abs(sol[i] - xNew[i]); d > maxStep {
-					maxStep = d
-				}
-			}
-			// Damp large Newton excursions (a hard residue step can throw
-			// devices across regions; full steps then oscillate).
-			alpha := 1.0
-			const vLimit = 0.3
-			if maxStep > vLimit {
-				alpha = vLimit / maxStep
-			}
-			for i := range sol {
-				xNew[i] += alpha * (sol[i] - xNew[i])
-			}
-			if alpha == 1 && maxStep < 1e-6+1e-4*la.NormInf(xNew) {
-				return xNew, nil
-			}
-		}
-		return nil, fmt.Errorf("sim: transient Newton failed at t=%g", t)
-	}
-
-	commitCaps := func(xNew []float64, h float64, method Integrator) {
-		for _, e := range cc.circuit.Elements {
-			if e.Type != netlist.Capacitor {
-				continue
-			}
-			st := caps[e.Name]
-			vNew := nodeV(xNew, l.idx(e.Nodes[0])) - nodeV(xNew, l.idx(e.Nodes[1]))
-			switch method {
-			case Trapezoidal:
-				st.i = (2*e.Value/h)*(vNew-st.v) - st.i
-			case BackwardEuler:
-				st.i = (e.Value / h) * (vNew - st.v)
-			}
-			st.v = vNew
-		}
-	}
-
-	// advance integrates from tPrev to tPrev+h, recursively halving the
-	// step with backward Euler when Newton cannot converge (sharp source
-	// edges and region changes are the usual culprits).
-	var advance func(xFrom []float64, tPrev, h float64, method Integrator, depth int) ([]float64, error)
-	advance = func(xFrom []float64, tPrev, h float64, method Integrator, depth int) ([]float64, error) {
-		xNew, err := solveStep(xFrom, tPrev+h, h, method)
-		if err == nil {
-			commitCaps(xNew, h, method)
-			return xNew, nil
-		}
-		if depth >= 10 {
-			return nil, err
-		}
-		xMid, err := advance(xFrom, tPrev, h/2, BackwardEuler, depth+1)
-		if err != nil {
-			return nil, err
-		}
-		return advance(xMid, tPrev+h/2, h/2, BackwardEuler, depth+1)
-	}
-
+	xNext := make([]float64, n)
 	h := opts.TStep
 	prevPhase := ClockPhase(0, opts.ClockPeriod, opts.NonOverlap)
 	for k := 1; k < steps; k++ {
@@ -256,87 +312,20 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 			method = BackwardEuler
 		}
 		prevPhase = phase
-		xNew, err := advance(x, t-h, h, method, 0)
-		if err != nil {
+		if err := run.advance(x, xNext, t-h, h, method, 0); err != nil {
 			return nil, err
 		}
-		x = xNew
+		x, xNext = xNext, x
 		record(t, x)
+	}
+	for _, s := range slots {
+		res.V[s.name] = s.w
 	}
 	return res, nil
 }
 
-// stampTran assembles one Newton iteration of a transient step.
-func stampTran(cc *compiled, a *la.Matrix, b []float64, x, xPrev []float64,
-	caps map[string]*capState, h, t float64, phase int, method Integrator) {
-	l := cc.layout
-	for i := 0; i < len(l.Nodes); i++ {
-		a.Add(i, i, 1e-12)
-	}
-	for _, e := range cc.circuit.Elements {
-		switch e.Type {
-		case netlist.Resistor:
-			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), 1/e.Value)
-		case netlist.Capacitor:
-			st := caps[e.Name]
-			p, nn := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
-			var geq, ieq float64
-			switch method {
-			case Trapezoidal:
-				geq = 2 * e.Value / h
-				ieq = geq*st.v + st.i
-			case BackwardEuler:
-				geq = e.Value / h
-				ieq = geq * st.v
-			}
-			stampConductance(a, p, nn, geq)
-			addRHS(b, p, ieq)
-			addRHS(b, nn, -ieq)
-		case netlist.Switch:
-			sw := cc.switches[e.Name]
-			active := sw.Phase == 0 || sw.Phase == phase
-			stampConductance(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), sw.Conductance(active))
-		case netlist.ISource:
-			i0 := sourceValue(e.Src, t)
-			addRHS(b, l.idx(e.Nodes[0]), -i0)
-			addRHS(b, l.idx(e.Nodes[1]), +i0)
-		case netlist.VSource:
-			br := l.BranchIndex[e.Name]
-			stampVoltageBranch(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
-			b[br] += sourceValue(e.Src, t)
-		case netlist.VCVS:
-			br := l.BranchIndex[e.Name]
-			op, on := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
-			cp, cn := l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
-			stampVoltageBranch(a, op, on, br)
-			addA(a, br, cp, -e.Value)
-			addA(a, br, cn, +e.Value)
-		case netlist.VCCS:
-			stampVCCS(a, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]), e.Value)
-		case netlist.MOS:
-			p := cc.mos[e.Name]
-			d, g, s, bk := l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
-			vd, vg, vs, vb := nodeV(x, d), nodeV(x, g), nodeV(x, s), nodeV(x, bk)
-			op := p.Eval(vd, vg, vs, vb)
-			stampVCCS(a, d, s, g, s, op.GM)
-			stampConductance(a, d, s, op.GDS)
-			stampVCCS(a, d, s, bk, s, op.GMB)
-			ieq := op.ID - op.GM*(vg-vs) - op.GDS*(vd-vs) - op.GMB*(vb-vs)
-			addRHS(b, d, -ieq)
-			addRHS(b, s, +ieq)
-			// MOS terminal capacitances as backward-Euler companions
-			// referenced to the previous accepted step (Meyer model).
-			stampMOSCap(a, b, l, g, s, op.CGS, xPrev, h)
-			stampMOSCap(a, b, l, g, d, op.CGD, xPrev, h)
-			stampMOSCap(a, b, l, g, bk, op.CGB, xPrev, h)
-			stampMOSCap(a, b, l, d, bk, op.CDB, xPrev, h)
-			stampMOSCap(a, b, l, s, bk, op.CSB, xPrev, h)
-		}
-	}
-}
-
 // stampMOSCap adds a BE companion for a (possibly zero) device capacitance.
-func stampMOSCap(a *la.Matrix, b []float64, l *Layout, p, n int, c float64, xPrev []float64, h float64) {
+func stampMOSCap(a *la.Matrix, b []float64, p, n int, c float64, xPrev []float64, h float64) {
 	if c <= 0 {
 		return
 	}

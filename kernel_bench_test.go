@@ -1,0 +1,97 @@
+// End-to-end kernel benchmarks on an MDAC-sized circuit: the hold and
+// loop netlists of a real pipeline stage (the same circuits the hybrid
+// evaluator solves on every synthesis iteration). These are the numbers
+// the allocation-free kernel path is accountable to; `make bench` runs
+// them together with the per-package kernel benchmarks and writes
+// BENCH_kernels.json.
+package pipesyn_test
+
+import (
+	"testing"
+
+	"pipesyn/internal/enum"
+	"pipesyn/internal/mdac"
+	"pipesyn/internal/netlist"
+	"pipesyn/internal/opamp"
+	"pipesyn/internal/pdk"
+	"pipesyn/internal/sim"
+	"pipesyn/internal/stagespec"
+)
+
+// benchStage builds a representative second-stage MDAC of a 12-bit
+// 40 MSPS pipeline with the designer-equation initial sizing.
+func benchStage(b *testing.B) mdac.Stage {
+	b.Helper()
+	proc := pdk.TSMC025()
+	adc := stagespec.ADCSpec{Bits: 12, SampleRate: 40e6, VRef: 1}
+	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := specs[1]
+	sz := opamp.InitialSizing(proc, opamp.BlockSpec{
+		GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad, CFeed: sp.CFeed,
+		Gain: sp.GainMin, Swing: sp.SwingMin,
+	})
+	return mdac.Stage{Spec: sp, Sizing: sz, Process: proc}
+}
+
+func benchHold(b *testing.B) *netlist.Circuit {
+	b.Helper()
+	hold, err := benchStage(b).HoldCircuit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hold
+}
+
+// BenchmarkOP is the DC-Newton leg: operating point of the closed-loop
+// hold circuit (gmin ladder and source stepping included when needed).
+func BenchmarkOP(b *testing.B) {
+	hold := benchHold(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.OP(hold, sim.DCOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranSettle is the transient leg: the worst-case residue step
+// over the same settling window the hybrid evaluator uses.
+func BenchmarkTranSettle(b *testing.B) {
+	st := benchStage(b)
+	hold := benchHold(b)
+	window := st.Spec.TSlew + st.Spec.TSettle
+	opts := sim.TranOpts{
+		TStop: mdac.StepDelay + 1.5*window,
+		TStep: window / 400,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Tran(hold, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkACSweep is the swept small-signal leg (the SimOnly
+// transfer-function path): 40 points/decade over 1 kHz – 100 GHz on the
+// broken-loop netlist.
+func BenchmarkACSweep(b *testing.B) {
+	st := benchStage(b)
+	loop, err := st.LoopCircuit(1e-15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := sim.OP(loop, sim.DCOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.AC(loop, op, sim.ACOpts{FStart: 1e3, FStop: 100e9, PointsPerDecade: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
