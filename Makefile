@@ -18,6 +18,7 @@ vet:
 # detector.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -run 'Cancel|Fault|Leak' ./...
 
 # Kernel/evaluator benchmark lane: the la factor/solve kernels, the
 # compiled transfer-function evaluator, the sim analyses, and the

@@ -11,6 +11,7 @@
 package pipesyn_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -54,7 +55,7 @@ func allStudies(b *testing.B) map[int]*core.Study {
 	studyOnce.Do(func() {
 		studies = map[int]*core.Study{}
 		for _, k := range []int{10, 11, 12, 13} {
-			st, err := core.Optimize(benchOpts(k))
+			st, err := core.Optimize(context.Background(), benchOpts(k))
 			if err != nil {
 				studyErr = err
 				return
@@ -161,7 +162,7 @@ func BenchmarkOptimizeSerialVsParallel(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			opts := parOpts()
 			opts.Workers = 1
-			st, err := core.Optimize(opts)
+			st, err := core.Optimize(context.Background(), opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -171,7 +172,7 @@ func BenchmarkOptimizeSerialVsParallel(b *testing.B) {
 	})
 	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			st, err := core.Optimize(parOpts())
+			st, err := core.Optimize(context.Background(), parOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -189,14 +190,14 @@ func BenchmarkOptimizeSerialVsParallel(b *testing.B) {
 		}
 		prime := parOpts()
 		prime.Synth.Cache = cache
-		if _, err := core.Optimize(prime); err != nil {
+		if _, err := core.Optimize(context.Background(), prime); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			opts := parOpts()
 			opts.Synth.Cache = cache
-			st, err := core.Optimize(opts)
+			st, err := core.Optimize(context.Background(), opts)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -221,7 +222,7 @@ func BenchmarkRetargetColdVsWarm(b *testing.B) {
 	}
 	spec := specs[1]
 	for i := 0; i < b.N; i++ {
-		cold, err := synth.Synthesize(spec, proc, synth.Options{
+		cold, err := synth.Synthesize(context.Background(), spec, proc, synth.Options{
 			Seed: 21, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
 		})
 		if err != nil {
@@ -230,7 +231,7 @@ func BenchmarkRetargetColdVsWarm(b *testing.B) {
 		retargeted := spec
 		retargeted.GBWMin *= 1.2
 		retargeted.SRMin *= 1.2
-		warm, err := synth.Synthesize(retargeted, proc, synth.Options{
+		warm, err := synth.Synthesize(context.Background(), retargeted, proc, synth.Options{
 			Seed: 22, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
 			WarmStart: cold.Sizing,
 		})
@@ -267,7 +268,7 @@ func BenchmarkEvalHybridVsSimVsEq(b *testing.B) {
 		GBW: sp.GBWMin, SR: sp.SRMin, CLoad: sp.CLoad, CFeed: sp.CFeed,
 		Gain: sp.GainMin, Swing: sp.SwingMin,
 	})
-	ref, err := hybrid.NewStageEvaluator(sp, proc, hybrid.SimOnly).Evaluate(sz)
+	ref, err := hybrid.NewStageEvaluator(sp, proc, hybrid.SimOnly).Evaluate(context.Background(), sz)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func BenchmarkEvalHybridVsSimVsEq(b *testing.B) {
 			var err error
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m, err = se.Evaluate(sz)
+				m, err = se.Evaluate(context.Background(), sz)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -371,7 +372,7 @@ func BenchmarkTopologyAblation(b *testing.B) {
 		// where the telescopic has gain headroom it should win on power.
 		last := specs[len(specs)-1]
 		for _, topo := range []opamp.Topology{opamp.Miller, opamp.Telescopic} {
-			res, err := synth.Synthesize(last, proc, synth.Options{
+			res, err := synth.Synthesize(context.Background(), last, proc, synth.Options{
 				Seed: 31, MaxEvals: 80, PatternIter: 40,
 				Mode: hybrid.Hybrid, Topology: topo,
 			})

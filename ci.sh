@@ -7,6 +7,10 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race -short ./...
+# Robustness lane: the cancellation, fault-injection, and goroutine-leak
+# tests under the race detector (stalled evaluators, injected panics,
+# deadline teardowns across the scheduler/synthesis/core stack).
+go test -race -run 'Cancel|Fault|Leak' ./...
 # Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
 # so perf-path regressions (panics, singular matrices) surface in CI
 # without paying for a full measurement run.

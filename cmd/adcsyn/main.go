@@ -7,7 +7,7 @@
 //
 //	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
-//	       [-workers 0] [-cache-dir DIR]
+//	       [-workers 0] [-cache-dir DIR] [-timeout DURATION]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers bounds the parallel synthesis scheduler (0 = all cores,
@@ -15,16 +15,24 @@
 // -cache-dir enables the content-addressed synthesis cache backed by the
 // given directory, so re-running the same study replays its design
 // points without evaluator calls.
+// -timeout bounds the wall-clock budget of the whole study (0 = none);
+// on expiry — or on Ctrl-C — the run stops within one evaluation and
+// exits non-zero with a partial-free state (nothing half-written to the
+// cache).
 // -cpuprofile/-memprofile write pprof profiles of the optimization run
 // for `go tool pprof`; the memory profile is taken after the run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"pipesyn/internal/core"
@@ -47,6 +55,7 @@ func main() {
 	withSHA := flag.Bool("sha", false, "also synthesize the front-end sample-and-hold")
 	workers := flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = no cache)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole study (0 = unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	flag.Parse()
@@ -89,9 +98,26 @@ func main() {
 			Restarts: *restarts, Cache: cache,
 		},
 	}
+	// Ctrl-C (or SIGTERM from a job runner) cancels the study; the engine
+	// checks the context once per evaluation, so teardown is prompt even
+	// mid-synthesis. An optional -timeout turns the same path into a
+	// wall-clock budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	t0 := time.Now()
-	st, err := core.Optimize(opts)
+	st, err := core.Optimize(ctx, opts)
 	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fatal(fmt.Errorf("study exceeded the %s budget: %w", *timeout, err))
+		case errors.Is(err, context.Canceled):
+			fatal(fmt.Errorf("study interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	fmt.Printf("pipesyn topology optimization — %d-bit %.0f MSPS (%s mode)\n",

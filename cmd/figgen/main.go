@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -89,7 +90,7 @@ func (g *generator) opts(bits int) core.Options {
 
 func (g *generator) run13() *core.Study {
 	if g.study13 == nil {
-		st, err := core.Optimize(g.opts(13))
+		st, err := core.Optimize(context.Background(), g.opts(13))
 		if err != nil {
 			fatal(err)
 		}
@@ -140,7 +141,7 @@ func (g *generator) fig2and3(withRules bool) {
 			studies = append(studies, g.run13())
 			continue
 		}
-		st, err := core.Optimize(g.opts(k))
+		st, err := core.Optimize(context.Background(), g.opts(k))
 		if err != nil {
 			fatal(err)
 		}
@@ -181,7 +182,7 @@ func (g *generator) retarget() {
 		fatal(err)
 	}
 	spec := specs[1]
-	cold, err := synth.Synthesize(spec, proc, synth.Options{
+	cold, err := synth.Synthesize(context.Background(), spec, proc, synth.Options{
 		Seed: 21, MaxEvals: g.budget.MaxEvals, PatternIter: g.budget.PatternIter, Mode: hybrid.Hybrid,
 	})
 	if err != nil {
@@ -191,7 +192,7 @@ func (g *generator) retarget() {
 	spec2 := spec
 	spec2.GBWMin *= 1.2
 	spec2.SRMin *= 1.2
-	warm, err := synth.Synthesize(spec2, proc, synth.Options{
+	warm, err := synth.Synthesize(context.Background(), spec2, proc, synth.Options{
 		Seed: 22, MaxEvals: g.budget.MaxEvals, PatternIter: g.budget.PatternIter,
 		Mode: hybrid.Hybrid, WarmStart: cold.Sizing,
 	})
@@ -237,7 +238,7 @@ func (g *generator) hybridCompare() {
 		var m hybrid.Metrics
 		start := time.Now()
 		for i := 0; i < reps; i++ {
-			m, err = se.Evaluate(sz)
+			m, err = se.Evaluate(context.Background(), sz)
 			if err != nil {
 				fatal(err)
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		sp.GainMin, sp.SwingMin)
 
 	proc := pdk.TSMC025()
-	res, err := synth.Synthesize(sp, proc, synth.Options{
+	res, err := synth.Synthesize(context.Background(), sp, proc, synth.Options{
 		Seed: 3, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
 	})
 	if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,7 @@ import (
 )
 
 func main() {
-	study, err := core.Optimize(core.Options{
+	study, err := core.Optimize(context.Background(), core.Options{
 		Bits:       13,
 		SampleRate: 40e6,
 		Mode:       hybrid.Hybrid,

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -147,7 +148,12 @@ func (st *Study) FullPower(c CandidateResult) float64 {
 }
 
 // Optimize runs the full designer-driven flow for one target resolution.
-func Optimize(opts Options) (*Study, error) {
+//
+// Cancelling ctx aborts the study within one evaluation granule and
+// returns ctx.Err(); a panic inside a synthesis worker surfaces as a
+// *sched.PanicError naming the design point instead of crashing the
+// process.
+func Optimize(ctx context.Context, opts Options) (*Study, error) {
 	opts.fillDefaults()
 	adc := stagespec.ADCSpec{
 		Bits: opts.Bits, SampleRate: opts.SampleRate,
@@ -156,6 +162,9 @@ func Optimize(opts Options) (*Study, error) {
 	cands, err := enum.Candidates(opts.Bits, opts.Constraints)
 	if err != nil {
 		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no pipeline candidates for %d bits under constraints %+v", opts.Bits, opts.Constraints)
 	}
 
 	// Translate every candidate and index the exact design points. Two
@@ -231,30 +240,33 @@ func Optimize(opts Options) (*Study, error) {
 		i := i
 		key := keys[i]
 		deps := warmIdx[i]
-		nodes[i] = sched.Node{Deps: deps, Run: func() error {
-			sOpts := opts.Synth
-			sOpts.Mode = opts.Mode
-			sOpts.Seed = opts.Synth.Seed + int64(i+1)
-			sOpts.Pool = pool
-			if opts.Retarget {
-				for _, j := range deps {
-					if prev := resArr[j]; prev != nil && prev.Feasible {
-						sOpts.WarmStart = prev.Sizing
-						k := keys[j]
-						warmFrom[i] = &k
-						break
+		nodes[i] = sched.Node{
+			Deps:  deps,
+			Label: fmt.Sprintf("design point stage %d (%d-bit)", key.Stage, key.Bits),
+			Run: func(ctx context.Context) error {
+				sOpts := opts.Synth
+				sOpts.Mode = opts.Mode
+				sOpts.Seed = opts.Synth.Seed + int64(i+1)
+				sOpts.Pool = pool
+				if opts.Retarget {
+					for _, j := range deps {
+						if prev := resArr[j]; prev != nil && prev.Feasible {
+							sOpts.WarmStart = prev.Sizing
+							k := keys[j]
+							warmFrom[i] = &k
+							break
+						}
 					}
 				}
-			}
-			res, err := synth.Synthesize(specOf[key], opts.Process, sOpts)
-			if err != nil {
-				return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
-			}
-			resArr[i] = res
-			return nil
-		}}
+				res, err := synth.Synthesize(ctx, specOf[key], opts.Process, sOpts)
+				if err != nil {
+					return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
+				}
+				resArr[i] = res
+				return nil
+			}}
 	}
-	if err := sched.Run(pool, nodes); err != nil {
+	if err := sched.Run(ctx, pool, nodes); err != nil {
 		return nil, err
 	}
 	results := map[DesignPoint]*synth.Result{}
@@ -323,7 +335,7 @@ func Optimize(opts Options) (*Study, error) {
 		sOpts.Mode = opts.Mode
 		sOpts.Seed = opts.Synth.Seed + 7919
 		sOpts.Pool = pool
-		res, err := sha.Synthesize(adc, specsByCand[0][0].CSample, opts.Process, sOpts)
+		res, err := sha.Synthesize(ctx, adc, specsByCand[0][0].CSample, opts.Process, sOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: S/H synthesis: %w", err)
 		}
@@ -345,24 +357,26 @@ func Optimize(opts Options) (*Study, error) {
 // they run concurrently under one shared worker budget; each study is
 // still bit-identical to its serial run, and errors surface for the
 // lowest-index resolution that failed.
-func Sweep(bits []int, base Options) ([]*Study, error) {
+func Sweep(ctx context.Context, bits []int, base Options) ([]*Study, error) {
 	pool := base.Pool
 	if pool == nil {
 		pool = sched.NewPool(base.Workers)
 	}
 	out := make([]*Study, len(bits))
 	errs := make([]error, len(bits))
-	pool.ForEach(len(bits), func(i int) {
+	if err := pool.ForEach(ctx, len(bits), func(i int) {
 		o := base
 		o.Bits = bits[i]
 		o.Pool = pool
-		st, err := Optimize(o)
+		st, err := Optimize(ctx, o)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: %d-bit study: %w", bits[i], err)
 			return
 		}
 		out[i] = st
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

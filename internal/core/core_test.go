@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -22,7 +23,7 @@ func eqOpts(bits int) Options {
 }
 
 func TestOptimize13BitEquationMode(t *testing.T) {
-	st, err := Optimize(eqOpts(13))
+	st, err := Optimize(context.Background(), eqOpts(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestOptimize13BitEquationMode(t *testing.T) {
 func TestWarmStartChainsAcrossMDACs(t *testing.T) {
 	opts := eqOpts(13)
 	opts.Retarget = true
-	st, err := Optimize(opts)
+	st, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestWarmStartChainsAcrossMDACs(t *testing.T) {
 }
 
 func TestSweepAndRules(t *testing.T) {
-	studies, err := Sweep([]int{10, 11}, eqOpts(0))
+	studies, err := Sweep(context.Background(), []int{10, 11}, eqOpts(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestOptimizeHybridSmoke(t *testing.T) {
 		Constraints: enum.Constraints{LeadingBits: 5},
 		Synth:       synth.Options{Seed: 2, MaxEvals: 25, PatternIter: 15},
 	}
-	st, err := Optimize(opts)
+	st, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestOptimizeHybridSmoke(t *testing.T) {
 
 func TestBehavioralCheck(t *testing.T) {
 	opts := eqOpts(10)
-	st, err := Optimize(opts)
+	st, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestOptimizeParallelMatchesSerial(t *testing.T) {
 		opts := eqOpts(13)
 		opts.Retarget = retarget
 		opts.Workers = 1
-		serial, err := Optimize(opts)
+		serial, err := Optimize(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestOptimizeParallelMatchesSerial(t *testing.T) {
 			opts := eqOpts(13)
 			opts.Retarget = retarget
 			opts.Workers = workers
-			par, err := Optimize(opts)
+			par, err := Optimize(context.Background(), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -197,13 +198,13 @@ func TestOptimizeParallelMatchesSerial(t *testing.T) {
 func TestSweepParallelMatchesSerial(t *testing.T) {
 	serialBase := eqOpts(0)
 	serialBase.Workers = 1
-	serial, err := Sweep([]int{10, 11, 12}, serialBase)
+	serial, err := Sweep(context.Background(), []int{10, 11, 12}, serialBase)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parBase := eqOpts(0)
 	parBase.Workers = 4
-	par, err := Sweep([]int{10, 11, 12}, parBase)
+	par, err := Sweep(context.Background(), []int{10, 11, 12}, parBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestOptimizeCacheSecondRunSkipsEvals(t *testing.T) {
 	opts := eqOpts(12)
 	opts.Synth.Cache = cache
 
-	cold, err := Optimize(opts)
+	cold, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestOptimizeCacheSecondRunSkipsEvals(t *testing.T) {
 			cold.CacheHits, cold.CacheMisses, len(cold.MDACs))
 	}
 
-	warm, err := Optimize(opts)
+	warm, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestOptimizeCacheSecondRunSkipsEvals(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Synth.Cache = cache2
-	disk, err := Optimize(opts)
+	disk, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestOptimizeCacheSecondRunSkipsEvals(t *testing.T) {
 
 func TestOptimizeErrors(t *testing.T) {
 	bad := eqOpts(2)
-	if _, err := Optimize(bad); err == nil {
+	if _, err := Optimize(context.Background(), bad); err == nil {
 		t.Fatal("expected enumeration/translation error")
 	}
 }
@@ -295,7 +296,7 @@ func TestOptimizeErrors(t *testing.T) {
 func TestOptimizeWithSHA(t *testing.T) {
 	opts := eqOpts(10)
 	opts.IncludeSHA = true
-	st, err := Optimize(opts)
+	st, err := Optimize(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestOptimizeWithSHA(t *testing.T) {
 		t.Fatal("full power must include the S/H")
 	}
 	// Without the flag, FullPower equals the leading-stage power.
-	st2, err := Optimize(eqOpts(10))
+	st2, err := Optimize(context.Background(), eqOpts(10))
 	if err != nil {
 		t.Fatal(err)
 	}

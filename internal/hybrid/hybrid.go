@@ -17,6 +17,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,21 +101,28 @@ func NewStageEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode Mode) *S
 // Evaluate scores a candidate stage under the given mode. For repeated
 // evaluations of the same spec (synthesis inner loop), prefer a shared
 // StageEvaluator, which caches the symbolic transfer function.
-func Evaluate(st mdac.Stage, mode Mode) (Metrics, error) {
+func Evaluate(ctx context.Context, st mdac.Stage, mode Mode) (Metrics, error) {
 	se := NewStageEvaluator(st.Spec, st.Process, mode)
-	return se.Evaluate(st.Sizing)
+	return se.Evaluate(ctx, st.Sizing)
 }
 
 // Evaluate scores one sizing candidate. All candidates evaluated through
 // one StageEvaluator must share a topology (the compiled loop transfer
 // function is cached per topology).
-func (se *StageEvaluator) Evaluate(sizing opamp.Amp) (Metrics, error) {
+//
+// One evaluation is the engine's cancellation granule: ctx is checked on
+// entry and between the DC, transfer-function, and transient legs, so a
+// cancelled synthesis returns within the leg already in flight.
+func (se *StageEvaluator) Evaluate(ctx context.Context, sizing opamp.Amp) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
 	st := mdac.Stage{Spec: se.Spec, Sizing: sizing, Process: se.Process}
 	switch se.Mode {
 	case EquationOnly:
 		return evaluateEquations(st)
 	case Hybrid, SimOnly:
-		return se.evaluateWithSim(st)
+		return se.evaluateWithSim(ctx, st)
 	}
 	return Metrics{}, fmt.Errorf("hybrid: unknown mode %d", se.Mode)
 }
@@ -192,7 +200,7 @@ func evaluateEquations(st mdac.Stage) (Metrics, error) {
 
 // evaluateWithSim shares the DC + transient legs between Hybrid and
 // SimOnly; they differ in how the loop transfer function is obtained.
-func (se *StageEvaluator) evaluateWithSim(st mdac.Stage) (Metrics, error) {
+func (se *StageEvaluator) evaluateWithSim(ctx context.Context, st mdac.Stage) (Metrics, error) {
 	mode := se.Mode
 	m := Metrics{Mode: mode}
 	sp := st.Spec
@@ -224,6 +232,9 @@ func (se *StageEvaluator) evaluateWithSim(st mdac.Stage) (Metrics, error) {
 	m.SwingLo, m.SwingHi = st.Sizing.SwingWindow(op.MOS, mdac.AmpPrefix, st.Process.VDD)
 
 	// Loop transfer function.
+	if err := ctx.Err(); err != nil {
+		return m, err
+	}
 	loop, err := st.LoopCircuit(cin)
 	if err != nil {
 		return m, err
@@ -277,6 +288,9 @@ func (se *StageEvaluator) evaluateWithSim(st mdac.Stage) (Metrics, error) {
 	}
 
 	// Transient settling of the worst-case residue step.
+	if err := ctx.Err(); err != nil {
+		return m, err
+	}
 	window := sp.TSlew + sp.TSettle
 	tStop := mdac.StepDelay + 1.5*window
 	tStep := window / 400

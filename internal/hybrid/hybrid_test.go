@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func relaxedStage(t *testing.T) mdac.Stage {
 
 func TestHybridEvaluation(t *testing.T) {
 	st := relaxedStage(t)
-	m, err := Evaluate(st, Hybrid)
+	m, err := Evaluate(context.Background(), st, Hybrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestHybridEvaluation(t *testing.T) {
 // small-signal reality.
 func TestHybridMatchesSimOnly(t *testing.T) {
 	st := relaxedStage(t)
-	hy, err := Evaluate(st, Hybrid)
+	hy, err := Evaluate(context.Background(), st, Hybrid)
 	if err != nil {
 		t.Fatal(err)
 	}
-	so, err := Evaluate(st, SimOnly)
+	so, err := Evaluate(context.Background(), st, SimOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestHybridMatchesSimOnly(t *testing.T) {
 // crossover for a near-textbook sizing.
 func TestEquationOnlyBallpark(t *testing.T) {
 	st := relaxedStage(t)
-	eq, err := Evaluate(st, EquationOnly)
+	eq, err := Evaluate(context.Background(), st, EquationOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hy, err := Evaluate(st, Hybrid)
+	hy, err := Evaluate(context.Background(), st, Hybrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestModeString(t *testing.T) {
 	if Hybrid.String() != "hybrid" || EquationOnly.String() != "equation" || SimOnly.String() != "simulation" {
 		t.Fatal("mode strings")
 	}
-	if _, err := Evaluate(relaxedStage(t), Mode(99)); err == nil {
+	if _, err := Evaluate(context.Background(), relaxedStage(t), Mode(99)); err == nil {
 		t.Fatal("expected unknown-mode error")
 	}
 }

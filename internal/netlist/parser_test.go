@@ -145,6 +145,23 @@ V2 ramp 0 PWL(0 0 1u 1 2u 0)
 	}
 }
 
+// TestParsePWLDuplicateTime: coincident PWL time points are the SPICE
+// idiom for an instantaneous step; the parser must keep both points in
+// order so evaluation can pick the later value.
+func TestParsePWLDuplicateTime(t *testing.T) {
+	c, err := Parse("* step\nV1 in 0 PWL(0 0 1u 0 1u 1 2u 1)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Find("v1").Src
+	if w.Kind != SrcPWL || len(w.PWL) != 4 {
+		t.Fatalf("pwl = %+v", w)
+	}
+	if w.PWL[1].T != w.PWL[2].T || w.PWL[1].V != 0 || w.PWL[2].V != 1 {
+		t.Fatalf("duplicate-time step not preserved in order: %+v", w.PWL)
+	}
+}
+
 func TestParseParamSubstitution(t *testing.T) {
 	deck := `* params
 .param cval=2p rbig=100k

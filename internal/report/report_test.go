@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func studyFixture(t *testing.T) *core.Study {
 	t.Helper()
-	st, err := core.Optimize(core.Options{
+	st, err := core.Optimize(context.Background(), core.Options{
 		Bits: 10, SampleRate: 40e6, Mode: hybrid.EquationOnly,
 		Synth: synth.Options{Seed: 1, MaxEvals: 40, PatternIter: 20},
 	})

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipesyn/internal/testutil"
+)
+
+// TestForEachCancelStopsDispatch cancels mid-run: indices not yet
+// dispatched must never start, the call must return ctx.Err(), and no
+// helper goroutine may outlive the call.
+func TestForEachCancelStopsDispatch(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(4)
+	var started atomic.Int32
+	err := p.ForEach(ctx, 1000, func(i int) {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ForEach returned %v, want context.Canceled", err)
+	}
+	// The workers observe the cancellation before pulling the next index,
+	// so at most one in-flight task per worker can complete after it.
+	if n := started.Load(); n > 5+4 {
+		t.Fatalf("%d tasks started after cancellation point", n)
+	}
+}
+
+// TestForEachPreCancelled never runs a single task.
+func TestForEachPreCancelled(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := NewPool(2).ForEach(ctx, 10, func(int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("task ran under a pre-cancelled context")
+	}
+}
+
+// TestForEachPanicFaultIsolated proves a panicking task surfaces as a
+// *PanicError instead of crashing the process, and stops the fan-out.
+func TestForEachPanicFaultIsolated(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		err := p.ForEach(context.Background(), 50, func(i int) {
+			if i == 3 {
+				panic("injected fault")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "injected fault" || !strings.Contains(pe.Label, "3") {
+			t.Fatalf("workers=%d: PanicError = %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("PanicError carries no stack")
+		}
+	}
+}
+
+// TestRunCancelDrainsDeterministically cancels a DAG mid-flight: Run
+// must return promptly with ctx.Err(), never start post-cancel nodes,
+// and still account for every node (no wedged drain, no leaks).
+func TestRunCancelDrainsDeterministically(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 100
+		nodes := make([]Node, n)
+		for i := range nodes {
+			i := i
+			var deps []int
+			if i > 0 {
+				deps = []int{i - 1} // a chain: cancellation hits mid-walk
+			}
+			nodes[i] = Node{Deps: deps, Run: func(context.Context) error {
+				if ran.Add(1) == 10 {
+					cancel()
+				}
+				return nil
+			}}
+		}
+		start := time.Now()
+		err := Run(ctx, NewPool(workers), nodes)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > 10+int32(workers) {
+			t.Fatalf("workers=%d: %d nodes ran after cancellation", workers, got)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancelled Run took %s to drain", elapsed)
+		}
+		cancel()
+	}
+}
+
+// TestRunPanicFaultNamesNode: a panicking node becomes an error naming
+// the node via its Label, dependents never run, and the DAG drains.
+func TestRunPanicFaultNamesNode(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, workers := range []int{1, 4} {
+		depRan := false
+		nodes := []Node{
+			{Label: "healthy", Run: func(context.Context) error { return nil }},
+			{Label: "design point stage 3 (2-bit)", Run: func(context.Context) error {
+				panic("evaluator blew up")
+			}},
+			{Deps: []int{1}, Label: "dependent", Run: func(context.Context) error {
+				depRan = true
+				return nil
+			}},
+		}
+		err := Run(context.Background(), NewPool(workers), nodes)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Label != "design point stage 3 (2-bit)" {
+			t.Fatalf("workers=%d: panic labelled %q", workers, pe.Label)
+		}
+		if depRan {
+			t.Fatal("dependent of a panicked node ran")
+		}
+	}
+}
+
+// TestRunPreCancelled returns ctx.Err() without running any node.
+func TestRunPreCancelled(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nodes := []Node{{Run: func(context.Context) error {
+		t.Error("node ran under a pre-cancelled context")
+		return nil
+	}}}
+	if err := Run(ctx, NewPool(2), nodes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunDeadlineLeak exercises the timeout form of cancellation under
+// stalled nodes: every node blocks until the deadline, Run must return
+// DeadlineExceeded and release all helper goroutines.
+func TestRunDeadlineLeak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	nodes := make([]Node, 8)
+	for i := range nodes {
+		nodes[i] = Node{Run: func(ctx context.Context) error {
+			<-ctx.Done() // a stalled evaluation that honors cancellation
+			return ctx.Err()
+		}}
+	}
+	if err := Run(ctx, NewPool(4), nodes); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -19,14 +19,38 @@
 // token. A worker slot is acquired with TryAcquire only, and the calling
 // goroutine always executes work itself, so forward progress never
 // depends on a token being released.
+//
+// sched is also the engine's fault boundary. Both ForEach and Run accept
+// a context: cancellation stops new work from dispatching (in-flight
+// tasks finish their current unit) and surfaces as ctx.Err(). A panic in
+// any task — whether it runs on a helper goroutine or inline on the
+// caller — is recovered and converted into a *PanicError instead of
+// crashing the process, and the DAG keeps draining deterministically so
+// every started node is accounted for before Run returns.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error at the sched
+// fault boundary. Label names the unit of work that panicked (the DAG
+// node's Label, or the task index), Value is the recovered panic value,
+// and Stack is the panicking goroutine's stack trace.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: panic in %s: %v", e.Label, e.Value)
+}
 
 // Pool is a shared bounded budget of extra worker goroutines. A Pool
 // with N workers allows at most N-1 spawned helpers: the calling
@@ -67,18 +91,42 @@ func (p *Pool) Release() { <-p.tokens }
 // ForEach runs f(i) for every i in [0, n), spreading the calls over the
 // calling goroutine plus as many helpers as the pool can spare right
 // now. With a 1-worker pool the calls happen inline in index order.
-func (p *Pool) ForEach(n int, f func(int)) {
+//
+// Cancelling ctx stops further indices from dispatching — tasks already
+// running finish — and ForEach returns ctx.Err(). A panicking task does
+// not crash the process: the panic is recovered, dispatch stops, and the
+// lowest-index *PanicError is returned. Either way the caller must treat
+// its per-index outputs as partial: an index may never have run.
+func (p *Pool) ForEach(ctx context.Context, n int, f func(int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	var next atomic.Int64
+	var aborted atomic.Bool
+	var mu sync.Mutex
+	panics := make(map[int]*PanicError)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				panics[i] = &PanicError{
+					Label: fmt.Sprintf("task %d", i),
+					Value: r,
+					Stack: debug.Stack(),
+				}
+				mu.Unlock()
+				aborted.Store(true)
+			}
+		}()
+		f(i)
+	}
 	work := func() {
-		for {
+		for !aborted.Load() && ctx.Err() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			f(i)
+			runOne(i)
 		}
 	}
 	var wg sync.WaitGroup
@@ -92,14 +140,32 @@ func (p *Pool) ForEach(n int, f func(int)) {
 	}
 	work()
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Lowest task index wins so the reported fault is deterministic.
+	var first *PanicError
+	firstIdx := -1
+	for i, pe := range panics {
+		if first == nil || i < firstIdx {
+			first, firstIdx = pe, i
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return nil
 }
 
 // Node is one unit of DAG work. Deps lists the indices of nodes that
 // must complete before this one runs — for a retargeting study, the
-// design points this node would consider as warm-start seeds.
+// design points this node would consider as warm-start seeds. Label
+// names the node in fault reports (a panicking node surfaces as a
+// *PanicError carrying it); empty labels fall back to the node index.
 type Node struct {
-	Deps []int
-	Run  func() error
+	Deps  []int
+	Label string
+	Run   func(ctx context.Context) error
 }
 
 // Run executes the nodes respecting dependency edges, with at most
@@ -108,8 +174,13 @@ type Node struct {
 //
 // Once any node fails, no further nodes start (in-flight ones finish);
 // Run returns the error of the lowest-index failed node, which is
-// deterministic regardless of worker count.
-func Run(pool *Pool, nodes []Node) error {
+// deterministic regardless of worker count. Cancelling ctx likewise
+// stops new nodes from starting: the remaining nodes drain unrun with
+// ctx.Err() recorded, so a cancelled Run always reports an error that
+// satisfies errors.Is(err, ctx.Err()). A panicking node is isolated at
+// this boundary — recovered into a *PanicError naming the node — and
+// never takes down the process or wedges the drain.
+func Run(ctx context.Context, pool *Pool, nodes []Node) error {
 	n := len(nodes)
 	if n == 0 {
 		return nil
@@ -150,6 +221,20 @@ func Run(pool *Pool, nodes []Node) error {
 		return -1
 	}
 
+	// exec runs one node behind the panic fault boundary.
+	exec := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				label := nodes[i].Label
+				if label == "" {
+					label = fmt.Sprintf("node %d", i)
+				}
+				err = &PanicError{Label: label, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return nodes[i].Run(ctx)
+	}
+
 	errs := make([]error, n)
 	done := make(chan int, n) // buffered: workers never block reporting
 	completed := 0
@@ -173,23 +258,28 @@ func Run(pool *Pool, nodes []Node) error {
 	// until all n have finished.
 	inFlight := 0
 	for completed < n {
+		cancelled := ctx.Err() != nil
 		// Spawn helpers for ready nodes while the pool has spare slots.
-		for readyCount > 0 && !failed && pool.TryAcquire() {
+		for readyCount > 0 && !failed && !cancelled && pool.TryAcquire() {
 			i := popMin()
 			inFlight++
 			go func(i int) {
 				defer pool.Release()
-				errs[i] = nodes[i].Run()
+				errs[i] = exec(i)
 				done <- i
 			}(i)
 		}
 		if readyCount > 0 {
 			// No spare slot (or aborting): the dispatcher works too.
 			// After a failure this branch drains the remaining nodes
-			// without running them.
+			// without running them; after a cancellation the drained
+			// nodes record ctx.Err() so the cause is never lost.
 			i := popMin()
-			if !failed {
-				errs[i] = nodes[i].Run()
+			switch {
+			case !failed && !cancelled:
+				errs[i] = exec(i)
+			case cancelled:
+				errs[i] = ctx.Err()
 			}
 			finish(i)
 			continue

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,7 +34,7 @@ func TestForEachCoversEveryIndex(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		p := NewPool(workers)
 		var hits [100]atomic.Int32
-		p.ForEach(len(hits), func(i int) { hits[i].Add(1) })
+		p.ForEach(context.Background(), len(hits), func(i int) { hits[i].Add(1) })
 		for i := range hits {
 			if got := hits[i].Load(); got != 1 {
 				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
@@ -45,7 +46,7 @@ func TestForEachCoversEveryIndex(t *testing.T) {
 func TestForEachSerialOrder(t *testing.T) {
 	p := NewPool(1)
 	var order []int
-	p.ForEach(10, func(i int) { order = append(order, i) })
+	p.ForEach(context.Background(), 10, func(i int) { order = append(order, i) })
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("1-worker ForEach out of order: %v", order)
@@ -58,7 +59,7 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 	p := NewPool(workers)
 	var cur, peak atomic.Int32
 	var mu sync.Mutex
-	p.ForEach(64, func(i int) {
+	p.ForEach(context.Background(), 64, func(i int) {
 		c := cur.Add(1)
 		mu.Lock()
 		if c > peak.Load() {
@@ -80,8 +81,8 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 func TestForEachNestedDoesNotDeadlock(t *testing.T) {
 	p := NewPool(2)
 	var total atomic.Int32
-	p.ForEach(8, func(i int) {
-		p.ForEach(8, func(j int) { total.Add(1) })
+	p.ForEach(context.Background(), 8, func(i int) {
+		p.ForEach(context.Background(), 8, func(j int) { total.Add(1) })
 	})
 	if total.Load() != 64 {
 		t.Fatalf("nested ForEach ran %d of 64 tasks", total.Load())
@@ -101,7 +102,7 @@ func TestRunRespectsDeps(t *testing.T) {
 			if i >= 2 {
 				deps = []int{i - 2}
 			}
-			nodes[i] = Node{Deps: deps, Run: func() error {
+			nodes[i] = Node{Deps: deps, Run: func(context.Context) error {
 				for _, d := range nodes[i].Deps {
 					if doneAt[d].Load() == 0 {
 						t.Errorf("node %d ran before dep %d", i, d)
@@ -111,7 +112,7 @@ func TestRunRespectsDeps(t *testing.T) {
 				return nil
 			}}
 		}
-		if err := Run(p, nodes); err != nil {
+		if err := Run(context.Background(), p, nodes); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		for i := range doneAt {
@@ -128,9 +129,9 @@ func TestRunSerialOrderWithOneWorker(t *testing.T) {
 	nodes := make([]Node, 12)
 	for i := range nodes {
 		i := i
-		nodes[i] = Node{Run: func() error { order = append(order, i); return nil }}
+		nodes[i] = Node{Run: func(context.Context) error { order = append(order, i); return nil }}
 	}
-	if err := Run(p, nodes); err != nil {
+	if err := Run(context.Background(), p, nodes); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range order {
@@ -145,12 +146,12 @@ func TestRunReturnsLowestIndexError(t *testing.T) {
 	errB := errors.New("b")
 	for _, workers := range []int{1, 4} {
 		nodes := []Node{
-			{Run: func() error { return nil }},
-			{Run: func() error { return errA }},
-			{Run: func() error { return errB }},
-			{Deps: []int{1}, Run: func() error { t.Error("dependent of failed node ran"); return nil }},
+			{Run: func(context.Context) error { return nil }},
+			{Run: func(context.Context) error { return errA }},
+			{Run: func(context.Context) error { return errB }},
+			{Deps: []int{1}, Run: func(context.Context) error { t.Error("dependent of failed node ran"); return nil }},
 		}
-		err := Run(NewPool(workers), nodes)
+		err := Run(context.Background(), NewPool(workers), nodes)
 		if !errors.Is(err, errA) && !errors.Is(err, errB) {
 			t.Fatalf("workers=%d: err = %v", workers, err)
 		}
@@ -161,14 +162,14 @@ func TestRunReturnsLowestIndexError(t *testing.T) {
 }
 
 func TestRunRejectsForwardAndBogusEdges(t *testing.T) {
-	ok := func() error { return nil }
-	if err := Run(NewPool(1), []Node{{Deps: []int{1}, Run: ok}, {Run: ok}}); err == nil {
+	ok := func(context.Context) error { return nil }
+	if err := Run(context.Background(), NewPool(1), []Node{{Deps: []int{1}, Run: ok}, {Run: ok}}); err == nil {
 		t.Fatal("forward edge accepted")
 	}
-	if err := Run(NewPool(1), []Node{{Deps: []int{-1}, Run: ok}}); err == nil {
+	if err := Run(context.Background(), NewPool(1), []Node{{Deps: []int{-1}, Run: ok}}); err == nil {
 		t.Fatal("negative edge accepted")
 	}
-	if err := Run(NewPool(1), nil); err != nil {
+	if err := Run(context.Background(), NewPool(1), nil); err != nil {
 		t.Fatalf("empty DAG: %v", err)
 	}
 }
@@ -186,7 +187,7 @@ func TestRunManyNodesUnderRace(t *testing.T) {
 		if i > 0 {
 			deps = append(deps, (i-1)/2) // binary-tree shape
 		}
-		nodes[i] = Node{Deps: deps, Run: func() error {
+		nodes[i] = Node{Deps: deps, Run: func(context.Context) error {
 			v := i
 			for _, d := range nodes[i].Deps {
 				v += results[d] // cross-goroutine read through the DAG edge
@@ -195,7 +196,7 @@ func TestRunManyNodesUnderRace(t *testing.T) {
 			return nil
 		}}
 	}
-	if err := Run(p, nodes); err != nil {
+	if err := Run(context.Background(), p, nodes); err != nil {
 		t.Fatal(err)
 	}
 	if results[0] != 0 {

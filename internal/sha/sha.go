@@ -9,6 +9,7 @@
 package sha
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -72,10 +73,10 @@ func Spec(adc stagespec.ADCSpec, firstStageCS float64) (stagespec.MDACSpec, erro
 
 // Synthesize sizes the S/H amplifier and returns its power together with
 // the synthesis result. It rides the same optimizer as the MDACs.
-func Synthesize(adc stagespec.ADCSpec, firstStageCS float64, proc *pdk.Process, opts synth.Options) (*synth.Result, error) {
+func Synthesize(ctx context.Context, adc stagespec.ADCSpec, firstStageCS float64, proc *pdk.Process, opts synth.Options) (*synth.Result, error) {
 	sp, err := Spec(adc, firstStageCS)
 	if err != nil {
 		return nil, err
 	}
-	return synth.Synthesize(sp, proc, opts)
+	return synth.Synthesize(ctx, sp, proc, opts)
 }

@@ -1,6 +1,7 @@
 package sha
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestSynthesizeSHA(t *testing.T) {
 	// A 10-bit S/H synthesizes to a feasible amp in equation mode
 	// (hybrid mode is exercised by the core integration tests).
 	a := adc(10)
-	res, err := Synthesize(a, 1e-12, pdk.TSMC025(), synth.Options{
+	res, err := Synthesize(context.Background(), a, 1e-12, pdk.TSMC025(), synth.Options{
 		Seed: 5, MaxEvals: 300, PatternIter: 150, Mode: hybrid.EquationOnly,
 	})
 	if err != nil {
@@ -81,7 +82,7 @@ func TestSynthesizeSHA(t *testing.T) {
 
 func TestSynthesizeSHAHybrid(t *testing.T) {
 	a := adc(8)
-	res, err := Synthesize(a, 0.5e-12, pdk.TSMC025(), synth.Options{
+	res, err := Synthesize(context.Background(), a, 0.5e-12, pdk.TSMC025(), synth.Options{
 		Seed: 6, MaxEvals: 60, PatternIter: 40, Mode: hybrid.Hybrid,
 	})
 	if err != nil {

@@ -122,7 +122,10 @@ func OP(c *netlist.Circuit, opts DCOpts) (*DCResult, error) {
 		sol, n, err := try(xs, opts.Gmin, scale)
 		totalIter += n
 		if err != nil {
-			return nil, fmt.Errorf("sim: DC failed to converge (newton, gmin and source stepping exhausted) at scale %g: %v", scale, err)
+			// %w keeps the typed ConvergenceError reachable via errors.As
+			// so callers can classify the failure as an infeasible
+			// candidate rather than an engine fault.
+			return nil, fmt.Errorf("sim: DC failed to converge (newton, gmin and source stepping exhausted) at scale %g: %w", scale, err)
 		}
 		xs = sol
 	}
@@ -168,6 +171,7 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 	ws.prepare(cc, gmin, srcScale, opts.SwitchPhase)
 	x := ws.x
 	copy(x, x0)
+	worstIdx, worstDelta := -1, 0.0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := ws.iterate(cc); err != nil {
 			return nil, iter, fmt.Errorf("sim: singular MNA matrix: %w", err)
@@ -175,11 +179,14 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 		xNew := ws.xNew
 		// Damped update: limit the largest node-voltage change.
 		maxDelta := 0.0
+		maxIdx := -1
 		for i := 0; i < len(cc.layout.Nodes); i++ {
 			if d := math.Abs(xNew[i] - x[i]); d > maxDelta {
 				maxDelta = d
+				maxIdx = i
 			}
 		}
+		worstIdx, worstDelta = maxIdx, maxDelta
 		alpha := 1.0
 		if maxDelta > opts.VLimit {
 			alpha = opts.VLimit / maxDelta
@@ -200,8 +207,15 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 			return append([]float64(nil), x...), iter, nil
 		}
 	}
-	return nil, opts.MaxIter, fmt.Errorf("sim: no convergence in %d iterations (state: %s)",
-		opts.MaxIter, cc.layout.describeState(x))
+	worst := ""
+	if worstIdx >= 0 {
+		worst = cc.layout.Nodes[worstIdx]
+	}
+	return nil, opts.MaxIter, &ConvergenceError{
+		Analysis: "dc", Iterations: opts.MaxIter,
+		WorstNode: worst, WorstDelta: worstDelta,
+		Detail: "state: " + cc.layout.describeState(x),
+	}
 }
 
 // stampDC assembles the linearized MNA system at candidate solution x in

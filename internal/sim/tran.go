@@ -27,6 +27,9 @@ type TranOpts struct {
 	ClockPeriod float64
 	NonOverlap  float64
 	MaxNewton   int
+	// Gmin is the floor conductance from every node to ground, matching
+	// DCOpts.Gmin (default 1e-12 S).
+	Gmin float64
 	// UseICs starts from the given node voltages instead of a DC solve.
 	UseICs bool
 	ICs    map[string]float64
@@ -151,7 +154,7 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 	phase := ClockPhase(t, tr.opts.ClockPeriod, tr.opts.NonOverlap)
 	copy(tr.stepA.Data, cc.phaseBase(phase).Data)
 	for i := 0; i < len(l.Nodes); i++ {
-		tr.stepA.Add(i, i, 1e-12)
+		tr.stepA.Add(i, i, tr.opts.Gmin)
 	}
 	for i := range tr.stepB {
 		tr.stepB[i] = 0
@@ -173,6 +176,7 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 	}
 	stampSources(cc, tr.stepB, t)
 	copy(dst, xFrom)
+	worstIdx, worstDelta := -1, 0.0
 	for it := 0; it < tr.opts.MaxNewton; it++ {
 		copy(tr.a.Data, tr.stepA.Data)
 		copy(tr.b, tr.stepB)
@@ -183,11 +187,14 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 		tr.lu.SolveInto(tr.xNew, tr.b)
 		sol := tr.xNew
 		maxStep := 0.0
+		maxIdx := -1
 		for i := 0; i < len(l.Nodes); i++ {
 			if d := math.Abs(sol[i] - dst[i]); d > maxStep {
 				maxStep = d
+				maxIdx = i
 			}
 		}
+		worstIdx, worstDelta = maxIdx, maxStep
 		// Damp large Newton excursions (a hard residue step can throw
 		// devices across regions; full steps then oscillate).
 		alpha := 1.0
@@ -202,7 +209,14 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 			return nil
 		}
 	}
-	return fmt.Errorf("sim: transient Newton failed at t=%g", t)
+	worst := ""
+	if worstIdx >= 0 {
+		worst = l.Nodes[worstIdx]
+	}
+	return &ConvergenceError{
+		Analysis: "transient", Time: t, Iterations: tr.opts.MaxNewton,
+		WorstNode: worst, WorstDelta: worstDelta,
+	}
 }
 
 // commitCaps advances the capacitor companion memory to the accepted
@@ -249,6 +263,9 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 	}
 	if opts.MaxNewton == 0 {
 		opts.MaxNewton = 80
+	}
+	if opts.Gmin == 0 {
+		opts.Gmin = 1e-12
 	}
 	cc, err := compile(c)
 	if err != nil {
@@ -299,9 +316,21 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 
 	xNext := make([]float64, n)
 	h := opts.TStep
+	tPrev := 0.0
 	prevPhase := ClockPhase(0, opts.ClockPeriod, opts.NonOverlap)
 	for k := 1; k < steps; k++ {
 		t := float64(k) * h
+		// When the window is not an integer multiple of the step, the
+		// rounded step count can push the last nominal sample past TStop;
+		// clamp it so the recorded window never exceeds the request and
+		// the final step simply shortens.
+		if t > opts.TStop {
+			t = opts.TStop
+		}
+		hk := t - tPrev
+		if hk <= 0 {
+			break
+		}
 		phase := ClockPhase(t, opts.ClockPeriod, opts.NonOverlap)
 		// Trapezoidal integration rings forever if started with a wrong
 		// capacitor-current state; take a damping backward-Euler step at
@@ -312,11 +341,12 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 			method = BackwardEuler
 		}
 		prevPhase = phase
-		if err := run.advance(x, xNext, t-h, h, method, 0); err != nil {
+		if err := run.advance(x, xNext, tPrev, hk, method, 0); err != nil {
 			return nil, err
 		}
 		x, xNext = xNext, x
 		record(t, x)
+		tPrev = t
 	}
 	for _, s := range slots {
 		res.V[s.name] = s.w
@@ -377,7 +407,21 @@ func sourceValue(s *netlist.Source, t float64) float64 {
 		}
 		for i := 1; i < len(pts); i++ {
 			if t <= pts[i].T {
-				frac := (t - pts[i-1].T) / (pts[i].T - pts[i-1].T)
+				// Coincident time points encode an instantaneous step: on
+				// an exact hit, the last point at that time wins, and a
+				// zero-width segment never divides by zero (which would
+				// propagate NaN into the solve).
+				if t == pts[i].T {
+					for i+1 < len(pts) && pts[i+1].T == pts[i].T {
+						i++
+					}
+					return pts[i].V
+				}
+				dt := pts[i].T - pts[i-1].T
+				if dt <= 0 {
+					return pts[i].V
+				}
+				frac := (t - pts[i-1].T) / dt
 				return pts[i-1].V + frac*(pts[i].V-pts[i-1].V)
 			}
 		}

@@ -34,14 +34,15 @@ func init() {
 // CacheKey computes the content address of a synthesis request: a
 // SHA-256 over the block spec, the process name, and the normalized
 // optimizer options. WarmStart is excluded (see package comment), and so
-// are the execution knobs (Workers, Pool, Cache) that cannot change the
-// result. Keys are stable across processes, so a disk store written by
+// are the execution knobs (Workers, Pool, Cache, EvalHook) that cannot
+// change the result. Keys are stable across processes, so a disk store written by
 // one run is valid for every later one.
 func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 	opts.WarmStart = nil
 	opts.Workers = 0
 	opts.Pool = nil
 	opts.Cache = nil
+	opts.EvalHook = nil
 	opts.defaults() // normalize zero fields without the warm-start shrink
 	procName := ""
 	if proc != nil {

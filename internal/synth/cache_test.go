@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -162,14 +163,14 @@ func TestSynthesizeCacheHitSkipsEvaluator(t *testing.T) {
 		Seed: 3, MaxEvals: 200, PatternIter: 60,
 		Mode: hybrid.EquationOnly, Cache: cache,
 	}
-	cold, err := Synthesize(spec, proc, opts)
+	cold, err := Synthesize(context.Background(), spec, proc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.CacheHit || cold.Evals == 0 {
 		t.Fatalf("cold run: hit=%v evals=%d", cold.CacheHit, cold.Evals)
 	}
-	warm, err := Synthesize(spec, proc, opts)
+	warm, err := Synthesize(context.Background(), spec, proc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestSynthesizeCacheHitSkipsEvaluator(t *testing.T) {
 	// address — the retarget flow turns into a cache hit too.
 	retarget := opts
 	retarget.WarmStart = cold.Sizing
-	hit, err := Synthesize(spec, proc, retarget)
+	hit, err := Synthesize(context.Background(), spec, proc, retarget)
 	if err != nil {
 		t.Fatal(err)
 	}

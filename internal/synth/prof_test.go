@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"pipesyn/internal/hybrid"
@@ -16,7 +17,7 @@ func BenchmarkHybridEval(b *testing.B) {
 	se := hybrid.NewStageEvaluator(spec, proc, hybrid.Hybrid)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := se.Evaluate(s0); err != nil {
+		if _, err := se.Evaluate(context.Background(), s0); err != nil {
 			b.Fatal(err)
 		}
 	}

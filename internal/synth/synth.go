@@ -13,6 +13,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,6 +55,14 @@ type Options struct {
 	// for the same content address (see CacheKey) and records new
 	// results for later runs. Never part of the cache key.
 	Cache *Cache
+	// EvalHook, when set, runs before every evaluator call with the
+	// 1-based evaluation ordinal. It is the fault-injection seam for the
+	// robustness tests: return an error to fail the candidate, panic to
+	// exercise the scheduler's fault boundary, or block on ctx.Done() to
+	// simulate a stalled evaluation. A non-nil return marks the
+	// candidate infeasible exactly like an evaluator error. Never part
+	// of the cache key.
+	EvalHook func(ctx context.Context, eval int) error
 }
 
 func (o *Options) defaults() {
@@ -111,7 +120,11 @@ var runRestart = synthesizeOnce
 // pipeline repeats from fresh seeds — in parallel when Workers or Pool
 // allow — and the best outcome wins. The reduction over restarts happens
 // in restart order, so the result does not depend on the worker count.
-func Synthesize(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, error) {
+//
+// Cancelling ctx aborts the search within one evaluation granule and
+// returns ctx.Err(); nothing is cached for a cancelled request, so a
+// later retry re-runs the full search.
+func Synthesize(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, error) {
 	var cacheKey string
 	if opts.Cache != nil {
 		cacheKey = CacheKey(spec, proc, opts)
@@ -136,7 +149,7 @@ func Synthesize(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Resu
 		runOpts := opts
 		runOpts.Restarts = 1
 		runOpts.Seed = opts.Seed + int64(r)*9973
-		res, evals, err := runRestart(spec, proc, runOpts)
+		res, evals, err := runRestart(ctx, spec, proc, runOpts)
 		outs[r] = restartOut{res: res, evals: evals, err: err}
 	}
 	if opts.Restarts > 1 && (opts.Pool != nil || opts.Workers > 1) {
@@ -144,11 +157,22 @@ func Synthesize(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Resu
 		if pool == nil {
 			pool = sched.NewPool(opts.Workers)
 		}
-		pool.ForEach(opts.Restarts, oneRestart)
+		if err := pool.ForEach(ctx, opts.Restarts, oneRestart); err != nil {
+			// Cancellation or an isolated worker panic: the per-restart
+			// outputs are partial, so surface the fault instead of
+			// reducing over them.
+			return nil, err
+		}
 	} else {
 		for r := 0; r < opts.Restarts; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			oneRestart(r)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var best *Result
@@ -198,7 +222,7 @@ func betterResult(a, b *Result) bool {
 // synthesizeOnce runs one anneal+polish pipeline. It reports the
 // evaluator calls spent alongside the result so callers can account for
 // the search cost of failed restarts too.
-func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
+func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	eqSeed, err := opamp.Initial(opts.Topology, proc, opamp.BlockSpec{
@@ -208,21 +232,23 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 	if err != nil {
 		return nil, 0, err
 	}
-	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW)
-	best := ev.score(eqSeed)
+	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW, opts.EvalHook)
+	best := ev.score(ctx, eqSeed)
 	if opts.WarmStart != nil {
 		// Retargeting: start from the better of the two seeds. A warm
 		// start carried over from a *tighter* spec is over-designed for a
 		// relaxed one, and the short retarget schedule would never shed
 		// the excess power; the equation seed covers that case.
-		warm := ev.score(opts.WarmStart)
+		warm := ev.score(ctx, opts.WarmStart)
 		if warm.err == nil && (best.err != nil || warm.cost < best.cost) {
 			best = warm
 		}
 	}
 	if best.err != nil {
 		// The start point may simply fail to bias; treat as very costly
-		// and let annealing walk away from it.
+		// and let annealing walk away from it. Typed sim.ConvergenceError
+		// values land here too: an unsolvable candidate is a search
+		// outcome, not an engine fault, so the annealer skips it.
 		best.cost = math.Inf(1)
 	}
 	cur := best
@@ -231,11 +257,16 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 		firstFeasible = 0
 	}
 
-	// Simulated annealing over log-space perturbations.
+	// Simulated annealing over log-space perturbations. The context is
+	// the abort signal: it is checked once per evaluation granule, so a
+	// cancelled study stops after the candidate in flight.
 	temp := opts.InitTemp
 	for ev.evals < opts.MaxEvals {
+		if err := ctx.Err(); err != nil {
+			return nil, ev.evals, err
+		}
 		cand := perturb(rng, cur.sizing, temp, proc)
-		sc := ev.score(cand)
+		sc := ev.score(ctx, cand)
 		if sc.err == nil {
 			if firstFeasible < 0 && sc.feasible() {
 				firstFeasible = ev.evals
@@ -255,7 +286,10 @@ func synthesizeOnce(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*
 	}
 
 	// Coordinate pattern search around the best point.
-	best = patternSearch(ev, best, opts.PatternIter, proc, &firstFeasible)
+	best = patternSearch(ctx, ev, best, opts.PatternIter, proc, &firstFeasible)
+	if err := ctx.Err(); err != nil {
+		return nil, ev.evals, err
+	}
 
 	if math.IsInf(best.cost, 1) {
 		return nil, ev.evals, fmt.Errorf("synth: no candidate evaluated successfully for stage %d (%d-bit)",
@@ -289,20 +323,27 @@ type evaluator struct {
 	se       *hybrid.StageEvaluator
 	penaltyW float64
 	evals    int
+	hook     func(ctx context.Context, eval int) error
 }
 
-func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, penaltyW float64) *evaluator {
+func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, penaltyW float64, hook func(context.Context, int) error) *evaluator {
 	return &evaluator{
 		spec: spec, proc: proc, penaltyW: penaltyW,
-		se: hybrid.NewStageEvaluator(spec, proc, mode),
+		se:   hybrid.NewStageEvaluator(spec, proc, mode),
+		hook: hook,
 	}
 }
 
 // score runs the configured evaluation mode and folds constraint
 // violations into a scalar cost: normalized power plus weighted penalty.
-func (ev *evaluator) score(s opamp.Amp) scored {
+func (ev *evaluator) score(ctx context.Context, s opamp.Amp) scored {
 	ev.evals++
-	m, err := ev.se.Evaluate(s)
+	if ev.hook != nil {
+		if err := ev.hook(ctx, ev.evals); err != nil {
+			return scored{sizing: s, err: err, cost: math.Inf(1)}
+		}
+	}
+	m, err := ev.se.Evaluate(ctx, s)
 	out := scored{sizing: s, metrics: m, err: err}
 	if err != nil {
 		out.cost = math.Inf(1)
@@ -335,21 +376,31 @@ func perturb(rng *rand.Rand, s opamp.Amp, temp float64, proc *pdk.Process) opamp
 	return out.Bound(proc)
 }
 
-// patternSearch polishes with coordinate moves of shrinking step.
-func patternSearch(ev *evaluator, best scored, budget int, proc *pdk.Process, firstFeasible *int) scored {
+// patternSearch polishes with coordinate moves of shrinking step. A
+// cancelled context stops the polish; the caller re-checks ctx and
+// discards the partial result.
+//
+// Candidates are rebuilt with WithVector on the incumbent sizing (like
+// perturb) so the polish preserves the amplifier's cell class: the old
+// opamp.FromVector path always produced a MillerSizing and silently
+// swapped a Telescopic amplifier's topology mid-search.
+func patternSearch(ctx context.Context, ev *evaluator, best scored, budget int, proc *pdk.Process, firstFeasible *int) scored {
 	step := 0.25
 	dims := len(best.sizing.Vector())
 	for spent := 0; spent < budget && step > 0.01; {
 		improved := false
 		for i := 0; i < dims && spent < budget; i++ {
 			for _, dir := range []float64{1 + step, 1 / (1 + step)} {
+				if ctx.Err() != nil {
+					return best
+				}
 				v := best.sizing.Vector()
 				v[i] *= dir
-				cand, err := opamp.FromVector(v)
+				cand, err := best.sizing.WithVector(v)
 				if err != nil {
 					continue
 				}
-				sc := ev.score(cand.Clamp(proc))
+				sc := ev.score(ctx, cand.Bound(proc))
 				spent++
 				if sc.err == nil {
 					if *firstFeasible < 0 && sc.feasible() {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -25,7 +26,7 @@ func lateStageSpec(t *testing.T) (stagespec.MDACSpec, *pdk.Process) {
 
 func TestSynthesizeFindsFeasible(t *testing.T) {
 	spec, proc := lateStageSpec(t)
-	res, err := Synthesize(spec, proc, Options{
+	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 1, MaxEvals: 120, PatternIter: 60, Mode: hybrid.Hybrid,
 	})
 	if err != nil {
@@ -50,9 +51,9 @@ func TestSynthesizeReducesPower(t *testing.T) {
 		GBW: spec.GBWMin, SR: spec.SRMin, CLoad: spec.CLoad,
 		CFeed: spec.CFeed, Gain: spec.GainMin, Swing: spec.SwingMin,
 	})
-	ev := newEvaluator(spec, proc, hybrid.Hybrid, 10)
-	start := ev.score(s0)
-	res, err := Synthesize(spec, proc, Options{
+	ev := newEvaluator(spec, proc, hybrid.Hybrid, 10, nil)
+	start := ev.score(context.Background(), s0)
+	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 3, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,
 	})
 	if err != nil {
@@ -69,7 +70,7 @@ func TestWarmStartUsesFewerEvals(t *testing.T) {
 	// feasible point with far fewer evaluations (the paper's
 	// "2–3 weeks → 1 day" effect).
 	spec, proc := lateStageSpec(t)
-	cold, err := Synthesize(spec, proc, Options{
+	cold, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 5, MaxEvals: 150, PatternIter: 60, Mode: hybrid.Hybrid,
 	})
 	if err != nil {
@@ -81,7 +82,7 @@ func TestWarmStartUsesFewerEvals(t *testing.T) {
 	// Neighbouring spec: the same stage retargeted to 20% more bandwidth.
 	spec2 := spec
 	spec2.GBWMin *= 1.2
-	warm, err := Synthesize(spec2, proc, Options{
+	warm, err := Synthesize(context.Background(), spec2, proc, Options{
 		Seed: 6, MaxEvals: 150, PatternIter: 60, Mode: hybrid.Hybrid,
 		WarmStart: cold.Sizing,
 	})
@@ -106,14 +107,14 @@ func TestParallelRestartsMatchSerial(t *testing.T) {
 		Seed: 17, MaxEvals: 500, PatternIter: 100,
 		Mode: hybrid.EquationOnly, Restarts: 4,
 	}
-	serial, err := Synthesize(spec, proc, base)
+	serial, err := Synthesize(context.Background(), spec, proc, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
 		opts := base
 		opts.Workers = workers
-		par, err := Synthesize(spec, proc, opts)
+		par, err := Synthesize(context.Background(), spec, proc, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,17 +134,17 @@ func TestFailedRestartEvalsCounted(t *testing.T) {
 
 	const failedEvals = 37
 	var calls int
-	runRestart = func(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
+	runRestart = func(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process, opts Options) (*Result, int, error) {
 		calls++
 		if calls == 1 {
 			// First restart: dies mid-search with partial work spent.
 			return nil, failedEvals, errors.New("injected restart failure")
 		}
-		return orig(spec, proc, opts)
+		return orig(ctx, spec, proc, opts)
 	}
 
 	spec, proc := lateStageSpec(t)
-	res, err := Synthesize(spec, proc, Options{
+	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 23, MaxEvals: 300, PatternIter: 60,
 		Mode: hybrid.EquationOnly, Restarts: 2,
 	})
@@ -156,7 +157,7 @@ func TestFailedRestartEvalsCounted(t *testing.T) {
 
 	// Reference: the surviving restart alone (restart index 1 has seed
 	// base + 9973, reproduced here by shifting the base seed).
-	alone, err := Synthesize(spec, proc, Options{
+	alone, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 23 + 9973, MaxEvals: 300, PatternIter: 60,
 		Mode: hybrid.EquationOnly,
 	})
@@ -180,7 +181,7 @@ func TestAllRestartsFailedSurfacesFirstError(t *testing.T) {
 	defer func() { runRestart = orig }()
 	errFirst := errors.New("first failure")
 	var calls int
-	runRestart = func(stagespec.MDACSpec, *pdk.Process, Options) (*Result, int, error) {
+	runRestart = func(context.Context, stagespec.MDACSpec, *pdk.Process, Options) (*Result, int, error) {
 		calls++
 		if calls == 1 {
 			return nil, 5, errFirst
@@ -188,7 +189,7 @@ func TestAllRestartsFailedSurfacesFirstError(t *testing.T) {
 		return nil, 5, errors.New("later failure")
 	}
 	spec, proc := lateStageSpec(t)
-	_, err := Synthesize(spec, proc, Options{
+	_, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 29, MaxEvals: 50, Mode: hybrid.EquationOnly, Restarts: 3,
 	})
 	if !errors.Is(err, errFirst) {
@@ -220,7 +221,7 @@ func TestEquationModeSynthesisIsCheap(t *testing.T) {
 	// produce a sane sizing (this is the speed end of the paper's
 	// trade-off).
 	spec, proc := lateStageSpec(t)
-	res, err := Synthesize(spec, proc, Options{
+	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 11, MaxEvals: 2000, PatternIter: 400, Mode: hybrid.EquationOnly,
 	})
 	if err != nil {
@@ -255,7 +256,7 @@ func TestSynthesizeTelescopicTopology(t *testing.T) {
 	}
 	spec := specs[3] // fourth stage: low gain requirement suits the telescopic
 	proc := pdk.TSMC025()
-	res, err := Synthesize(spec, proc, Options{
+	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 13, MaxEvals: 120, PatternIter: 60,
 		Mode: hybrid.Hybrid, Topology: opamp.Telescopic,
 	})
