@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench bench-figures ci
+.PHONY: build test vet race bench bench-figures serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,17 @@ vet:
 
 # Race lane: short mode keeps the seconds-long hybrid studies out, while
 # the scheduler, cache, and parallel-study tests all still run under the
-# detector.
+# detector. The service package runs in full — its queue, single-flight,
+# and drain paths are the raciest code in the tree.
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'Cancel|Fault|Leak' ./...
+	$(GO) test -race ./internal/service
+
+# Service integration smoke: boot adcsynd, run a study over HTTP with a
+# cached rerun and a /metrics scrape, SIGTERM, assert clean drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Kernel/evaluator benchmark lane: the la factor/solve kernels, the
 # compiled transfer-function evaluator, the sim analyses, and the
@@ -36,4 +43,4 @@ bench:
 bench-figures:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: vet test race
+ci: vet test race serve-smoke

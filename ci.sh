@@ -11,6 +11,12 @@ go test -race -short ./...
 # tests under the race detector (stalled evaluators, injected panics,
 # deadline teardowns across the scheduler/synthesis/core stack).
 go test -race -run 'Cancel|Fault|Leak' ./...
+# Service lane: the full adcsynd job-manager/HTTP suite under the race
+# detector (queue backpressure, single-flight dedup, NDJSON streaming,
+# drain), then the end-to-end daemon smoke: boot, study over HTTP,
+# cached rerun, /metrics scrape, SIGTERM drain.
+go test -race ./internal/service
+./scripts/serve_smoke.sh
 # Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
 # so perf-path regressions (panics, singular matrices) surface in CI
 # without paying for a full measurement run.

@@ -7,7 +7,7 @@
 //
 //	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
-//	       [-workers 0] [-cache-dir DIR] [-timeout DURATION]
+//	       [-workers 0] [-cache-dir DIR] [-timeout DURATION] [-json]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -workers bounds the parallel synthesis scheduler (0 = all cores,
@@ -19,12 +19,16 @@
 // on expiry — or on Ctrl-C — the run stops within one evaluation and
 // exits non-zero with a partial-free state (nothing half-written to the
 // cache).
+// -json replaces the human-readable report with the study result as
+// machine-readable JSON on stdout, in the same shape the adcsynd
+// service answers with.
 // -cpuprofile/-memprofile write pprof profiles of the optimization run
 // for `go tool pprof`; the memory profile is taken after the run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,8 +40,8 @@ import (
 	"time"
 
 	"pipesyn/internal/core"
-	"pipesyn/internal/hybrid"
 	"pipesyn/internal/report"
+	"pipesyn/internal/service"
 	"pipesyn/internal/synth"
 )
 
@@ -52,6 +56,7 @@ func main() {
 	retarget := flag.Bool("retarget", false, "chain warm starts across MDACs (faster, slightly suboptimal)")
 	seed := flag.Int64("seed", 7, "random seed")
 	verify := flag.Bool("verify", false, "run a behavioral sine test on the best configuration")
+	jsonOut := flag.Bool("json", false, "emit the study result as JSON on stdout (same shape as the adcsynd service)")
 	withSHA := flag.Bool("sha", false, "also synthesize the front-end sample-and-hold")
 	workers := flag.Int("workers", 0, "parallel synthesis workers (0 = all cores, 1 = serial)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = no cache)")
@@ -60,7 +65,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken after the run)")
 	flag.Parse()
 
-	mode, err := parseMode(*modeStr)
+	// Shared with the adcsynd API so CLI and service accept the same
+	// mode vocabulary.
+	mode, err := service.ParseMode(*modeStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -120,6 +127,24 @@ func main() {
 		}
 		fatal(err)
 	}
+	if *jsonOut {
+		// Machine-readable path: the same wire type the adcsynd service
+		// answers with, so CLI and daemon reports are interchangeable.
+		out := service.EncodeStudy(st, mode, time.Since(t0))
+		if *verify {
+			m, err := core.BehavioralCheck(st, opts, 4096)
+			if err != nil {
+				fatal(err)
+			}
+			out.Behavioral = &service.BehavioralJSON{ENOB: m.ENOB, SNDRdB: m.SNDRdB, SFDRdB: m.SFDRdB}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("pipesyn topology optimization — %d-bit %.0f MSPS (%s mode)\n",
 		*bits, *fs/1e6, mode)
 	fmt.Printf("elapsed %s, %d evaluator calls, %d MDAC design points (%d paper classes)\n",
@@ -156,18 +181,6 @@ func main() {
 		fmt.Printf("behavioral check: ENOB %.2f bits (SNDR %.1f dB, SFDR %.1f dB)\n",
 			m.ENOB, m.SNDRdB, m.SFDRdB)
 	}
-}
-
-func parseMode(s string) (hybrid.Mode, error) {
-	switch s {
-	case "hybrid":
-		return hybrid.Hybrid, nil
-	case "equation":
-		return hybrid.EquationOnly, nil
-	case "simulation":
-		return hybrid.SimOnly, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
 // stopCPU flushes the CPU profile; fatal calls it because os.Exit skips

@@ -1,0 +1,102 @@
+// Command adcsynd is the long-running synthesis service: the paper's
+// batch flow (enumerate candidates, synthesize every distinct MDAC, rank
+// by power) wrapped in an HTTP API with a bounded job queue, streamed
+// per-stage progress, Prometheus metrics, and graceful drain.
+//
+// Usage:
+//
+//	adcsynd [-addr :8080] [-workers 0] [-queue 16] [-executors 1]
+//	        [-cache-dir DIR] [-job-timeout 0] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST   /v1/studies            submit {bits, fs, vref, mode, evals, ...}
+//	GET    /v1/studies            list jobs
+//	GET    /v1/studies/{id}       status + result
+//	GET    /v1/studies/{id}/events NDJSON progress stream
+//	DELETE /v1/studies/{id}       cancel
+//	GET    /metrics               Prometheus text format
+//	GET    /healthz               readiness (503 while draining)
+//
+// Identical concurrent submissions (same content address over every
+// study-shaping knob) share one execution. A full queue answers 429 with
+// Retry-After rather than queueing unboundedly. On SIGTERM/SIGINT the
+// daemon stops admitting, rejects queued jobs, gives in-flight jobs
+// -drain-timeout to finish, then cancels them and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pipesyn/internal/service"
+	"pipesyn/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "synthesis worker budget shared by all jobs (0 = all cores)")
+	queueCap := flag.Int("queue", 16, "admission queue capacity (full queue answers 429)")
+	executors := flag.Int("executors", 1, "studies running concurrently (each fans out on the shared workers)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache entries (0 = default)")
+	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per study (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
+	flag.Parse()
+
+	// The cache is always on: request dedup across time is the service's
+	// whole economy. -cache-dir adds the persistent tier.
+	cache, err := synth.NewCache(*cacheEntries, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	man := service.NewManager(service.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		Executors:  *executors,
+		JobTimeout: *jobTimeout,
+		Cache:      cache,
+	})
+	man.Start()
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(man)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "adcsynd: listening on %s (workers=%d queue=%d executors=%d)\n",
+		*addr, *workers, *queueCap, *executors)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "adcsynd: draining (grace %s)\n", *drainTimeout)
+	man.Drain(*drainTimeout)
+	// Jobs are terminal and event streams closed; active handlers finish
+	// within the shutdown grace.
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "adcsynd: drained cleanly")
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "adcsynd:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -66,6 +69,41 @@ type Options struct {
 	// Pool supplies an existing shared worker budget instead of Workers
 	// (Sweep threads its pool through every study).
 	Pool *sched.Pool
+	// Progress, when set, receives study-level progress events: the plan
+	// (how many design points), each design point starting and
+	// finishing, and the S/H synthesis. Design points run on worker
+	// goroutines, so the callback must be safe for concurrent use and
+	// must not block. Evaluation-granule progress rides the separate
+	// synth.Options.Progress seam; neither influences the study result.
+	Progress func(ev ProgressEvent)
+}
+
+// ProgressEvent is one study-level observation delivered to
+// Options.Progress. Kind says which fields are meaningful:
+//
+//   - "plan":        Points and Candidates are set — the study's shape.
+//   - "point_start": Point (0-based), Stage, Bits, PriorBits.
+//   - "point_done":  the above plus CacheHit, Feasible, Power, Evals.
+//   - "sha_start", "sha_done": the front-end S/H synthesis (IncludeSHA).
+type ProgressEvent struct {
+	Kind       string  `json:"kind"`
+	Point      int     `json:"point,omitempty"`
+	Points     int     `json:"points,omitempty"`
+	Candidates int     `json:"candidates,omitempty"`
+	Stage      int     `json:"stage,omitempty"`
+	Bits       int     `json:"bits,omitempty"`
+	PriorBits  int     `json:"priorBits,omitempty"`
+	CacheHit   bool    `json:"cacheHit,omitempty"`
+	Feasible   bool    `json:"feasible,omitempty"`
+	Power      float64 `json:"powerW,omitempty"`
+	Evals      int     `json:"evals,omitempty"`
+}
+
+// emit delivers a progress event when a sink is configured.
+func (o *Options) emit(ev ProgressEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
 }
 
 func (o *Options) fillDefaults() {
@@ -145,6 +183,43 @@ func (st *Study) FullPower(c CandidateResult) float64 {
 		p += st.SHA.Metrics.Power
 	}
 	return p
+}
+
+// StudyKey computes the content address of a whole study: a SHA-256
+// over every input that shapes the result — resolution, rate, reference,
+// process, evaluation mode, enumeration constraints, the retarget/S-H
+// switches, and the canonicalized synthesis options (the same
+// normalization the per-MDAC cache key uses; see synth.Options.
+// Canonical). Execution knobs (Workers, Pool, Cache, hooks) are
+// excluded, so two requests that must produce bit-identical studies get
+// the same key. The serving layer single-flights concurrent identical
+// submissions on it.
+func StudyKey(opts Options) string {
+	opts.fillDefaults()
+	opts.Constraints.FillDefaults()
+	s := opts.Synth.Canonical()
+	blob, err := json.Marshal(struct {
+		Bits                         int
+		SampleRate, VRef             float64
+		Process                      string
+		Mode                         int
+		Constraints                  enum.Constraints
+		Retarget, IncludeSHA         bool
+		Seed                         int64
+		MaxEvals, PatternIter        int
+		Restarts                     int
+		InitTemp, CoolRate, PenaltyW float64
+		Topology                     int
+	}{opts.Bits, opts.SampleRate, opts.VRef, opts.Process.Name, int(opts.Mode),
+		opts.Constraints, opts.Retarget, opts.IncludeSHA,
+		s.Seed, s.MaxEvals, s.PatternIter, s.Restarts,
+		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology)})
+	if err != nil {
+		// Value fields only; Marshal cannot fail. Loud beats silent.
+		panic(fmt.Sprintf("core: study key marshal: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
 }
 
 // Optimize runs the full designer-driven flow for one target resolution.
@@ -233,6 +308,7 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 		}
 	}
 
+	opts.emit(ProgressEvent{Kind: "plan", Points: len(keys), Candidates: len(cands)})
 	resArr := make([]*synth.Result, len(keys))
 	warmFrom := make([]*DesignPoint, len(keys))
 	nodes := make([]sched.Node, len(keys))
@@ -258,11 +334,17 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 						}
 					}
 				}
+				opts.emit(ProgressEvent{Kind: "point_start", Point: i, Points: len(keys),
+					Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits})
 				res, err := synth.Synthesize(ctx, specOf[key], opts.Process, sOpts)
 				if err != nil {
 					return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
 				}
 				resArr[i] = res
+				opts.emit(ProgressEvent{Kind: "point_done", Point: i, Points: len(keys),
+					Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits,
+					CacheHit: res.CacheHit, Feasible: res.Feasible,
+					Power: res.Metrics.Power, Evals: res.Evals})
 				return nil
 			}}
 	}
@@ -335,10 +417,13 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 		sOpts.Mode = opts.Mode
 		sOpts.Seed = opts.Synth.Seed + 7919
 		sOpts.Pool = pool
+		opts.emit(ProgressEvent{Kind: "sha_start"})
 		res, err := sha.Synthesize(ctx, adc, specsByCand[0][0].CSample, opts.Process, sOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: S/H synthesis: %w", err)
 		}
+		opts.emit(ProgressEvent{Kind: "sha_done", CacheHit: res.CacheHit,
+			Feasible: res.Feasible, Power: res.Metrics.Power, Evals: res.Evals})
 		study.SHA = res
 		study.TotalEvals += res.Evals
 		if opts.Synth.Cache != nil {

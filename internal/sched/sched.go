@@ -59,6 +59,14 @@ func (e *PanicError) Error() string {
 type Pool struct {
 	workers int
 	tokens  chan struct{}
+
+	// Load gauges for operational visibility (the adcsynd /metrics
+	// endpoint scrapes them): queued counts tasks admitted to a ForEach
+	// or Run that have not started executing yet, inflight counts tasks
+	// currently executing. Both are plain atomics so the hot dispatch
+	// path pays two adds per task.
+	queued   atomic.Int64
+	inflight atomic.Int64
 }
 
 // NewPool sizes a budget of `workers` concurrent executors. workers <= 0
@@ -73,6 +81,15 @@ func NewPool(workers int) *Pool {
 
 // Workers reports the configured concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// Queued reports how many admitted tasks across all active ForEach and
+// Run calls have not started executing yet. It is a point-in-time gauge
+// for monitoring, not a synchronization primitive.
+func (p *Pool) Queued() int64 { return p.queued.Load() }
+
+// InFlight reports how many tasks are executing right now across all
+// active ForEach and Run calls on this pool.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
 
 // TryAcquire claims a helper slot without blocking. Callers that get a
 // slot must Release it when the helper goroutine exits.
@@ -103,9 +120,16 @@ func (p *Pool) ForEach(ctx context.Context, n int, f func(int)) error {
 	}
 	var next atomic.Int64
 	var aborted atomic.Bool
+	var claimed atomic.Int64
+	p.queued.Add(int64(n))
+	// Indices never claimed (cancellation, panic abort) leave the queued
+	// gauge high; settle the residue once every worker has stopped.
+	defer func() { p.queued.Add(claimed.Load() - int64(n)) }()
 	var mu sync.Mutex
 	panics := make(map[int]*PanicError)
 	runOne := func(i int) {
+		p.inflight.Add(1)
+		defer p.inflight.Add(-1)
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
@@ -126,6 +150,8 @@ func (p *Pool) ForEach(ctx context.Context, n int, f func(int)) error {
 			if i >= n {
 				return
 			}
+			claimed.Add(1)
+			p.queued.Add(-1)
 			runOne(i)
 		}
 	}
@@ -221,8 +247,14 @@ func Run(ctx context.Context, pool *Pool, nodes []Node) error {
 		return -1
 	}
 
+	pool.queued.Add(int64(n))
+	// Every node leaves the ready set exactly once — run or drained — so
+	// the gauge settles to its prior value when Run returns.
+
 	// exec runs one node behind the panic fault boundary.
 	exec := func(i int) (err error) {
+		pool.inflight.Add(1)
+		defer pool.inflight.Add(-1)
 		defer func() {
 			if r := recover(); r != nil {
 				label := nodes[i].Label
@@ -262,6 +294,7 @@ func Run(ctx context.Context, pool *Pool, nodes []Node) error {
 		// Spawn helpers for ready nodes while the pool has spare slots.
 		for readyCount > 0 && !failed && !cancelled && pool.TryAcquire() {
 			i := popMin()
+			pool.queued.Add(-1)
 			inFlight++
 			go func(i int) {
 				defer pool.Release()
@@ -275,6 +308,7 @@ func Run(ctx context.Context, pool *Pool, nodes []Node) error {
 			// without running them; after a cancellation the drained
 			// nodes record ctx.Err() so the cause is never lost.
 			i := popMin()
+			pool.queued.Add(-1)
 			switch {
 			case !failed && !cancelled:
 				errs[i] = exec(i)

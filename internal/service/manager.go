@@ -1,0 +1,578 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/sched"
+	"pipesyn/internal/synth"
+)
+
+// State is a job's position in the lifecycle: queued → running →
+// done | failed | cancelled. Terminal states never change.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state can still change.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one line of a job's NDJSON progress stream. Seq increases by
+// one per event within a job, so a consumer can detect gaps. Progress
+// carries the study-level payload on kind "progress"; Result rides the
+// terminal "done" event.
+type Event struct {
+	Seq      int                 `json:"seq"`
+	JobID    string              `json:"job"`
+	Kind     string              `json:"kind"` // queued|started|progress|done|failed|cancelled
+	State    State               `json:"state"`
+	Progress *core.ProgressEvent `json:"progress,omitempty"`
+	Error    string              `json:"error,omitempty"`
+	Result   *StudyJSON          `json:"result,omitempty"`
+}
+
+// Job is one submitted study. All mutable fields are guarded by mu; the
+// exported accessors snapshot them.
+type Job struct {
+	ID      string
+	Key     string // core.StudyKey content address — the single-flight identity
+	Req     StudyRequest
+	Created time.Time
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	result   *StudyJSON
+	started  time.Time
+	finished time.Time
+	evals    int64
+	events   []Event
+	subs     map[int]chan Event
+	nextSub  int
+	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed on terminal transition
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	Key      string       `json:"key"`
+	State    State        `json:"state"`
+	Request  StudyRequest `json:"request"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Evals    int64        `json:"evals"`
+	Error    string       `json:"error,omitempty"`
+	Result   *StudyJSON   `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Key: j.Key, State: j.state, Request: j.Req,
+		Created: j.Created, Evals: j.evals, Result: j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State reports the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// appendEvent records and broadcasts one event. Slow subscribers do not
+// stall the engine: a full subscriber channel drops the event for that
+// subscriber only (the buffer is far larger than any study's event
+// count, so this only bites a consumer that stopped reading).
+func (j *Job) appendEvent(kind string, fill func(*Event)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev := Event{Seq: len(j.events), JobID: j.ID, Kind: kind, State: j.state}
+	if fill != nil {
+		fill(&ev)
+	}
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns the events recorded so far plus a live channel for
+// the rest. The channel is closed once the job is terminal and all
+// events are delivered. The returned cancel is idempotent and must be
+// called when the consumer stops reading.
+func (j *Job) Subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append(replay, j.events...)
+	ch := make(chan Event, 1024)
+	if j.state.Terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	var once sync.Once
+	return replay, ch, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			if c, ok := j.subs[id]; ok {
+				delete(j.subs, id)
+				close(c)
+			}
+			j.mu.Unlock()
+		})
+	}
+}
+
+// begin transitions queued → running; false means the job went terminal
+// first (cancelled while queued) and must not run.
+func (j *Job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// Errors returned by Submit; the HTTP layer maps them to status codes.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrDraining  = errors.New("service: draining, not accepting jobs")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers bounds the shared synthesis pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue (default 16). A full queue
+	// rejects new submissions with ErrQueueFull — backpressure instead
+	// of unbounded goroutines.
+	QueueCap int
+	// Executors is how many studies run concurrently (default 1; each
+	// study already fans out internally on the shared pool).
+	Executors int
+	// JobTimeout bounds one study's wall clock (0 = unlimited).
+	JobTimeout time.Duration
+	// Cache is the shared content-addressed synthesis cache (nil = none).
+	Cache *synth.Cache
+	// Metrics receives counters and evaluation latencies (nil = a
+	// private registry nobody scrapes).
+	Metrics *Metrics
+	// EvalHook is threaded to synth.Options.EvalHook on every job — the
+	// same fault-injection/stall seam the engine's robustness tests
+	// use, here so service tests can gate a job mid-run. Nil in
+	// production.
+	EvalHook func(ctx context.Context, eval int) error
+}
+
+// Manager owns the job table, the bounded admission queue, and the
+// executor goroutines that run studies on one shared sched.Pool.
+type Manager struct {
+	cfg     Config
+	pool    *sched.Pool
+	metrics *Metrics
+
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byKey    map[string]*Job // queued/running job per study key (single-flight)
+	nextID   int
+	draining bool
+
+	loopCtx  context.Context
+	stopLoop context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// NewManager builds a stopped manager; Start launches the executors.
+func NewManager(cfg Config) *Manager {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:      cfg,
+		pool:     sched.NewPool(cfg.Workers),
+		metrics:  cfg.Metrics,
+		queue:    make(chan *Job, cfg.QueueCap),
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]*Job),
+		loopCtx:  ctx,
+		stopLoop: cancel,
+	}
+}
+
+// Metrics returns the registry the manager reports into.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Start launches the executor goroutines.
+func (m *Manager) Start() {
+	for i := 0; i < m.cfg.Executors; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for {
+				select {
+				case <-m.loopCtx.Done():
+					return
+				case job := <-m.queue:
+					m.runJob(job)
+				}
+			}
+		}()
+	}
+}
+
+// Submit admits a study request. When an identical study (same content
+// address) is already queued or running, the in-flight job is returned
+// with deduped=true and no new execution starts — concurrent identical
+// submissions share one run. A full queue returns ErrQueueFull; a
+// draining manager returns ErrDraining.
+func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
+	opts, err := req.Options()
+	if err != nil {
+		return nil, false, err
+	}
+	key := core.StudyKey(opts)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.metrics.JobsRejected.Add(1)
+		return nil, false, ErrDraining
+	}
+	if inflight, ok := m.byKey[key]; ok {
+		m.metrics.JobsDeduped.Add(1)
+		return inflight, true, nil
+	}
+	m.nextID++
+	job = &Job{
+		ID:      fmt.Sprintf("s%06d-%s", m.nextID, key[:8]),
+		Key:     key,
+		Req:     req,
+		Created: time.Now(),
+		state:   StateQueued,
+		subs:    make(map[int]chan Event),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.metrics.JobsRejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.byKey[key] = job
+	m.metrics.JobsAccepted.Add(1)
+	job.appendEvent("queued", nil)
+	return job, false, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job's status, newest first.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	// Newest first by ID (IDs are monotonic).
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].ID > out[i].ID {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job goes terminal immediately, a running
+// one has its context cancelled and goes terminal within one evaluation
+// granule. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return nil
+	case j.state == StateQueued:
+		j.mu.Unlock()
+		m.finalize(j, StateCancelled, nil, context.Canceled)
+		return nil
+	default: // running
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	}
+}
+
+// Snapshot assembles the gauge set for a /metrics scrape.
+func (m *Manager) Snapshot() Snapshot {
+	m.mu.Lock()
+	byState := make(map[State]int)
+	for _, j := range m.jobs {
+		byState[j.State()]++
+	}
+	// State() takes j.mu while m.mu is held: safe, the lock order
+	// everywhere is Manager.mu → Job.mu.
+	snap := Snapshot{
+		QueueDepth:    len(m.queue),
+		QueueCapacity: cap(m.queue),
+		JobsByState:   byState,
+		Draining:      m.draining,
+	}
+	m.mu.Unlock()
+	snap.PoolQueued = m.pool.Queued()
+	snap.PoolInFlight = m.pool.InFlight()
+	snap.PoolWorkers = m.pool.Workers()
+	if m.cfg.Cache != nil {
+		cs := m.cfg.Cache.Stats()
+		snap.CacheHits = cs.Hits
+		snap.CacheMisses = cs.Misses
+	}
+	return snap
+}
+
+// Draining reports whether the manager has begun shutdown.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// runJob executes one study on an executor goroutine.
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.loopCtx)
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.loopCtx, m.cfg.JobTimeout)
+	}
+	defer cancel()
+	if !job.begin(cancel) {
+		return // cancelled while queued
+	}
+	job.appendEvent("started", nil)
+
+	opts, err := job.Req.Options()
+	if err != nil {
+		// Submit validated already; a failure here is a programming error.
+		m.finalize(job, StateFailed, nil, err)
+		return
+	}
+	opts.Pool = m.pool
+	opts.Synth.Cache = m.cfg.Cache
+	opts.Synth.EvalHook = m.cfg.EvalHook
+	opts.Progress = func(ev core.ProgressEvent) {
+		p := ev
+		job.appendEvent("progress", func(e *Event) { e.Progress = &p })
+	}
+	opts.Synth.Progress = func(p synth.Progress) {
+		m.metrics.ObserveEval(p.Elapsed)
+		job.mu.Lock()
+		job.evals++
+		job.mu.Unlock()
+	}
+
+	start := time.Now()
+	study, err := core.Optimize(ctx, opts)
+	switch {
+	case err == nil:
+		m.finalize(job, StateDone, EncodeStudy(study, opts.Mode, time.Since(start)), nil)
+	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+		m.finalize(job, StateCancelled, nil, err)
+	default:
+		m.finalize(job, StateFailed, nil, err)
+	}
+}
+
+// finalize moves a job to a terminal state exactly once: records the
+// outcome, emits the terminal event, closes subscriber channels and the
+// done channel, releases the single-flight key, and bumps the counters.
+func (m *Manager) finalize(job *Job, state State, result *StudyJSON, err error) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.state = state
+	job.finished = time.Now()
+	job.result = result
+	job.err = err
+	// The terminal event, the subscriber close, and the state flip are
+	// one critical section: a Subscribe on the other side of the lock
+	// either sees the complete event log (terminal line included) or
+	// gets the terminal event on its live channel before the close.
+	ev := Event{Seq: len(job.events), JobID: job.ID, Kind: string(state), State: state, Result: result}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	job.events = append(job.events, ev)
+	for id, ch := range job.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		delete(job.subs, id)
+		close(ch)
+	}
+	close(job.done)
+	job.mu.Unlock()
+
+	m.mu.Lock()
+	if m.byKey[job.Key] == job {
+		delete(m.byKey, job.Key)
+	}
+	m.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.metrics.JobsDone.Add(1)
+	case StateFailed:
+		m.metrics.JobsFailed.Add(1)
+	case StateCancelled:
+		m.metrics.JobsCancelled.Add(1)
+	}
+}
+
+// Drain shuts the manager down: new submissions are rejected, queued
+// jobs are cancelled immediately, and running jobs get up to timeout to
+// finish before their contexts are cancelled. Drain blocks until every
+// executor goroutine has exited, so a clean return means no engine
+// goroutines remain.
+func (m *Manager) Drain(timeout time.Duration) {
+	m.mu.Lock()
+	m.draining = true
+	var queued, running []*Job
+	for _, j := range m.jobs {
+		switch j.State() {
+		case StateQueued:
+			queued = append(queued, j)
+		case StateRunning:
+			running = append(running, j)
+		}
+	}
+	m.mu.Unlock()
+
+	// Queued jobs are rejected immediately: they have not started, so
+	// there is nothing worth waiting for.
+	for _, j := range queued {
+		// Cancel handles the race where an executor began the job after
+		// the snapshot above: it cancels the running context instead.
+		_ = m.Cancel(j.ID)
+	}
+
+	// In-flight jobs get the grace window, then cancellation. The timer
+	// channel delivers once, so remember expiry instead of re-receiving.
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	expired := false
+	for _, j := range running {
+		if !expired {
+			select {
+			case <-j.Done():
+				continue
+			case <-deadline.C:
+				expired = true
+			}
+		}
+		_ = m.Cancel(j.ID)
+		<-j.Done() // cancellation lands within one evaluation granule
+	}
+	// A job that slipped from queued to running between the snapshot and
+	// Cancel above is already cancelled (context), so Done closes fast;
+	// sweep anything left to be safe.
+	m.mu.Lock()
+	var rest []*Job
+	for _, j := range m.jobs {
+		if !j.State().Terminal() && j.State() == StateRunning {
+			rest = append(rest, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range rest {
+		_ = m.Cancel(j.ID)
+		<-j.Done()
+	}
+
+	m.stopLoop()
+	m.wg.Wait()
+
+	// Anything still sitting in the queue channel was finalized as
+	// cancelled above and is skipped by begin(); drop the references.
+	for {
+		select {
+		case <-m.queue:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// evalBuckets are the upper bounds (seconds) of the evaluation-latency
+// histogram. Equation-mode evaluations are tens of microseconds, hybrid
+// ones are milliseconds, and a stalled simulation can take seconds, so
+// the buckets span five decades.
+var evalBuckets = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3, 1, 2.5, 10,
+}
+
+// Metrics is the daemon's stdlib-only metrics registry: counters and a
+// latency histogram maintained with atomics (the evaluation observer
+// sits on the synthesis hot path), rendered in Prometheus text
+// exposition format by WriteTo. Gauges — queue depth, jobs by state,
+// pool load, cache traffic — are sampled from their owners at scrape
+// time rather than mirrored here, so they can never drift.
+type Metrics struct {
+	// Admission outcomes of POST /v1/studies.
+	JobsAccepted atomic.Int64 // new job admitted to the queue
+	JobsDeduped  atomic.Int64 // single-flighted onto an in-flight job
+	JobsRejected atomic.Int64 // queue full (429) or draining (503)
+
+	// Terminal outcomes.
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+
+	evalCount   atomic.Int64
+	evalSumNS   atomic.Int64
+	evalBuckets [16]atomic.Int64 // len(evalBuckets)+1 for +Inf
+}
+
+// ObserveEval records one evaluation's wall-clock cost. Safe for
+// concurrent use; two atomic adds plus a bucket add.
+func (m *Metrics) ObserveEval(d time.Duration) {
+	m.evalCount.Add(1)
+	m.evalSumNS.Add(int64(d))
+	sec := d.Seconds()
+	for i, ub := range evalBuckets {
+		if sec <= ub {
+			m.evalBuckets[i].Add(1)
+			return
+		}
+	}
+	m.evalBuckets[len(evalBuckets)].Add(1)
+}
+
+// Evals reports the total evaluations observed.
+func (m *Metrics) Evals() int64 { return m.evalCount.Load() }
+
+// Snapshot is the point-in-time gauge set a scrape renders alongside the
+// counters; the Manager assembles it from the queue, the job table, the
+// scheduler pool, and the synthesis cache.
+type Snapshot struct {
+	QueueDepth    int
+	QueueCapacity int
+	JobsByState   map[State]int
+	PoolQueued    int64
+	PoolInFlight  int64
+	PoolWorkers   int
+	CacheHits     int64
+	CacheMisses   int64
+	Draining      bool
+}
+
+// WriteTo renders the registry plus the gauge snapshot in Prometheus
+// text exposition format (version 0.0.4).
+func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("adcsynd_jobs_total", "Study jobs by admission or terminal event.")
+	for _, kv := range []struct {
+		label string
+		v     int64
+	}{
+		{"accepted", m.JobsAccepted.Load()},
+		{"deduped", m.JobsDeduped.Load()},
+		{"rejected", m.JobsRejected.Load()},
+		{"done", m.JobsDone.Load()},
+		{"failed", m.JobsFailed.Load()},
+		{"cancelled", m.JobsCancelled.Load()},
+	} {
+		fmt.Fprintf(w, "adcsynd_jobs_total{event=%q} %d\n", kv.label, kv.v)
+	}
+
+	gauge("adcsynd_jobs", "Current jobs by state.")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "adcsynd_jobs{state=%q} %d\n", st, snap.JobsByState[st])
+	}
+
+	gauge("adcsynd_queue_depth", "Jobs waiting in the admission queue.")
+	fmt.Fprintf(w, "adcsynd_queue_depth %d\n", snap.QueueDepth)
+	gauge("adcsynd_queue_capacity", "Admission queue capacity.")
+	fmt.Fprintf(w, "adcsynd_queue_capacity %d\n", snap.QueueCapacity)
+
+	gauge("adcsynd_pool_queued", "Synthesis tasks admitted to the worker pool but not yet running.")
+	fmt.Fprintf(w, "adcsynd_pool_queued %d\n", snap.PoolQueued)
+	gauge("adcsynd_pool_inflight", "Synthesis tasks executing on the worker pool right now.")
+	fmt.Fprintf(w, "adcsynd_pool_inflight %d\n", snap.PoolInFlight)
+	gauge("adcsynd_pool_workers", "Configured worker-pool concurrency bound.")
+	fmt.Fprintf(w, "adcsynd_pool_workers %d\n", snap.PoolWorkers)
+
+	counter("adcsynd_synth_cache_hits_total", "Content-addressed synthesis cache hits.")
+	fmt.Fprintf(w, "adcsynd_synth_cache_hits_total %d\n", snap.CacheHits)
+	counter("adcsynd_synth_cache_misses_total", "Content-addressed synthesis cache misses.")
+	fmt.Fprintf(w, "adcsynd_synth_cache_misses_total %d\n", snap.CacheMisses)
+
+	gauge("adcsynd_draining", "1 while the daemon is draining for shutdown.")
+	d := 0
+	if snap.Draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "adcsynd_draining %d\n", d)
+
+	fmt.Fprintf(w, "# HELP adcsynd_eval_duration_seconds Wall-clock cost of one synthesis evaluation.\n")
+	fmt.Fprintf(w, "# TYPE adcsynd_eval_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range evalBuckets {
+		cum += m.evalBuckets[i].Load()
+		fmt.Fprintf(w, "adcsynd_eval_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.evalBuckets[len(evalBuckets)].Load()
+	fmt.Fprintf(w, "adcsynd_eval_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "adcsynd_eval_duration_seconds_sum %g\n", time.Duration(m.evalSumNS.Load()).Seconds())
+	fmt.Fprintf(w, "adcsynd_eval_duration_seconds_count %d\n", m.evalCount.Load())
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

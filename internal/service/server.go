@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server is the daemon's HTTP surface over a Manager:
+//
+//	POST   /v1/studies            submit a study (202; 200 when deduped;
+//	                              429 + Retry-After when the queue is full;
+//	                              503 while draining)
+//	GET    /v1/studies            list jobs, newest first
+//	GET    /v1/studies/{id}       job status (+ result when done)
+//	GET    /v1/studies/{id}/events per-stage progress as NDJSON, streamed
+//	                              until the job is terminal
+//	DELETE /v1/studies/{id}       cancel a queued or running job
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               200 ok / 503 draining
+type Server struct {
+	man *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes over a started Manager.
+func NewServer(man *Manager) *Server {
+	s := &Server{man: man, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/studies", s.submit)
+	s.mux.HandleFunc("GET /v1/studies", s.list)
+	s.mux.HandleFunc("GET /v1/studies/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.events)
+	s.mux.HandleFunc("DELETE /v1/studies/{id}", s.cancel)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitResponse is the POST /v1/studies reply.
+type SubmitResponse struct {
+	ID      string `json:"id"`
+	Key     string `json:"key"`
+	State   State  `json:"state"`
+	Deduped bool   `json:"deduped"`
+	// Events and Status are the URLs to follow the job with.
+	Status string `json:"status"`
+	Events string `json:"events"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req StudyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	job, deduped, err := s.man.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure, not failure: the client should retry once the
+		// queue moves. One study is the natural retry granule.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	loc := "/v1/studies/" + job.ID
+	w.Header().Set("Location", loc)
+	writeJSON(w, code, SubmitResponse{
+		ID: job.ID, Key: job.Key, State: job.State(), Deduped: deduped,
+		Status: loc, Events: loc + "/events",
+	})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{s.man.Jobs()})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.man.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// events streams the job's progress as NDJSON: every recorded event is
+// replayed first, then live events follow until the job goes terminal or
+// the client disconnects. Each line is one Event; Seq makes gaps
+// detectable on the consumer side.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.man.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	replay, live, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				return // job terminal, channel drained
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.man.Cancel(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	job, _ := s.man.Get(id)
+	writeJSON(w, http.StatusAccepted, struct {
+		ID    string `json:"id"`
+		State State  `json:"state"`
+	}{id, job.State()})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.man.Metrics().WriteTo(w, s.man.Snapshot())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.man.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

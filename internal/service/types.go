@@ -1,0 +1,167 @@
+// Package service is the serving layer over the synthesis engine: a job
+// manager with a bounded queue and single-flight admission (manager.go),
+// a stdlib-only metrics registry in Prometheus text format (metrics.go),
+// and the HTTP surface the adcsynd daemon exposes (server.go).
+//
+// This file holds the wire types shared between the daemon and the
+// adcsyn CLI's -json mode, so a study reports identically whether it ran
+// over HTTP or in-process.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/synth"
+)
+
+// ParseMode maps the CLI/API mode string to the evaluator mode.
+func ParseMode(s string) (hybrid.Mode, error) {
+	switch s {
+	case "", "hybrid":
+		return hybrid.Hybrid, nil
+	case "equation":
+		return hybrid.EquationOnly, nil
+	case "simulation":
+		return hybrid.SimOnly, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want hybrid, equation, or simulation)", s)
+}
+
+// StudyRequest is the POST /v1/studies body. The knobs mirror the adcsyn
+// flags; zero fields take the same defaults the CLI applies.
+type StudyRequest struct {
+	Bits       int     `json:"bits"`
+	SampleRate float64 `json:"fs,omitempty"`       // Hz, default 40e6
+	VRef       float64 `json:"vref,omitempty"`     // V, default 1.0
+	Mode       string  `json:"mode,omitempty"`     // hybrid|equation|simulation
+	Evals      int     `json:"evals,omitempty"`    // annealing budget per MDAC
+	Pattern    int     `json:"pattern,omitempty"`  // pattern-search budget per MDAC
+	Restarts   int     `json:"restarts,omitempty"` // synthesis restarts per MDAC
+	Seed       int64   `json:"seed,omitempty"`
+	Retarget   bool    `json:"retarget,omitempty"` // chain warm starts across MDACs
+	SHA        bool    `json:"sha,omitempty"`      // also synthesize the front-end S/H
+}
+
+// Options validates the request and translates it into engine options.
+// Execution knobs (workers, pool, cache, hooks) are the server's to set;
+// a request only describes the study.
+func (r StudyRequest) Options() (core.Options, error) {
+	if r.Bits < 4 || r.Bits > 20 {
+		return core.Options{}, fmt.Errorf("bits %d out of range [4, 20]", r.Bits)
+	}
+	if r.SampleRate < 0 || r.VRef < 0 || r.Evals < 0 || r.Pattern < 0 || r.Restarts < 0 {
+		return core.Options{}, fmt.Errorf("negative knob in request")
+	}
+	mode, err := ParseMode(r.Mode)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Bits:       r.Bits,
+		SampleRate: r.SampleRate,
+		VRef:       r.VRef,
+		Mode:       mode,
+		Retarget:   r.Retarget,
+		IncludeSHA: r.SHA,
+		Synth: synth.Options{
+			Seed:        r.Seed,
+			MaxEvals:    r.Evals,
+			PatternIter: r.Pattern,
+			Restarts:    r.Restarts,
+		},
+	}, nil
+}
+
+// StageJSON is one costed pipeline stage of a candidate.
+type StageJSON struct {
+	Stage        int     `json:"stage"`
+	Bits         int     `json:"bits"`
+	MDACPowerW   float64 `json:"mdacPowerW"`
+	SubADCPowerW float64 `json:"subAdcPowerW"`
+	TotalW       float64 `json:"totalW"`
+	Feasible     bool    `json:"feasible"`
+}
+
+// CandidateJSON is one enumerated configuration fully costed.
+type CandidateJSON struct {
+	Config      []int       `json:"config"`
+	TotalPowerW float64     `json:"totalPowerW"`
+	AllFeasible bool        `json:"allFeasible"`
+	Stages      []StageJSON `json:"stages,omitempty"`
+}
+
+// StudyJSON is the machine-readable study result: the daemon's response
+// body and the adcsyn -json output.
+type StudyJSON struct {
+	Bits             int             `json:"bits"`
+	SampleRateHz     float64         `json:"fsHz"`
+	Mode             string          `json:"mode"`
+	Best             CandidateJSON   `json:"best"`
+	Candidates       []CandidateJSON `json:"candidates"`
+	MDACPoints       int             `json:"mdacPoints"`
+	PaperMDACClasses int             `json:"paperMdacClasses"`
+	TotalEvals       int             `json:"totalEvals"`
+	CacheHits        int             `json:"cacheHits"`
+	CacheMisses      int             `json:"cacheMisses"`
+	SHAPowerW        float64         `json:"shaPowerW,omitempty"`
+	FullPowerW       float64         `json:"fullPowerW,omitempty"`
+	ElapsedSeconds   float64         `json:"elapsedSeconds"`
+	// Behavioral is the optional closed-loop sine-test verdict (the
+	// adcsyn -verify -json path fills it; the daemon leaves it nil).
+	Behavioral *BehavioralJSON `json:"behavioral,omitempty"`
+}
+
+// BehavioralJSON is the behavioral sine-test outcome for the best
+// configuration.
+type BehavioralJSON struct {
+	ENOB   float64 `json:"enob"`
+	SNDRdB float64 `json:"sndrDb"`
+	SFDRdB float64 `json:"sfdrDb"`
+}
+
+// EncodeStudy flattens a completed study into its wire form. The best
+// candidate carries its per-stage breakdown; the ranked list stays
+// summary-only to keep responses compact.
+func EncodeStudy(st *core.Study, mode hybrid.Mode, elapsed time.Duration) *StudyJSON {
+	out := &StudyJSON{
+		Bits:             st.Bits,
+		SampleRateHz:     st.SampleRate,
+		Mode:             mode.String(),
+		Best:             encodeCandidate(st.Best, true),
+		MDACPoints:       len(st.MDACs),
+		PaperMDACClasses: st.PaperMDACClasses,
+		TotalEvals:       st.TotalEvals,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		ElapsedSeconds:   elapsed.Seconds(),
+	}
+	for _, c := range st.Candidates {
+		out.Candidates = append(out.Candidates, encodeCandidate(c, false))
+	}
+	if st.SHA != nil {
+		out.SHAPowerW = st.SHA.Metrics.Power
+		out.FullPowerW = st.FullPower(st.Best)
+	}
+	return out
+}
+
+func encodeCandidate(c core.CandidateResult, withStages bool) CandidateJSON {
+	out := CandidateJSON{
+		Config:      append([]int(nil), c.Config...),
+		TotalPowerW: c.TotalPower,
+		AllFeasible: c.AllFeasible,
+	}
+	if withStages {
+		for _, s := range c.Stages {
+			out.Stages = append(out.Stages, StageJSON{
+				Stage: s.Stage, Bits: s.Bits,
+				MDACPowerW: s.MDACPower, SubADCPowerW: s.SubADCPower,
+				TotalW: s.Total, Feasible: s.Feasible,
+			})
+		}
+	}
+	return out
+}

@@ -31,19 +31,29 @@ func init() {
 	gob.Register(opamp.TelescopicSizing{})
 }
 
+// Canonical returns a copy of o with the execution-only knobs cleared —
+// WarmStart (see package comment), Workers, Pool, Cache, EvalHook, and
+// Progress can never change the result — and the zero fields normalized
+// to their defaults. Two Options with equal Canonical forms request the
+// same synthesis; CacheKey and the service-level study content address
+// both hash this form.
+func (o Options) Canonical() Options {
+	o.WarmStart = nil
+	o.Workers = 0
+	o.Pool = nil
+	o.Cache = nil
+	o.EvalHook = nil
+	o.Progress = nil
+	o.defaults() // normalize zero fields without the warm-start shrink
+	return o
+}
+
 // CacheKey computes the content address of a synthesis request: a
-// SHA-256 over the block spec, the process name, and the normalized
-// optimizer options. WarmStart is excluded (see package comment), and so
-// are the execution knobs (Workers, Pool, Cache, EvalHook) that cannot
-// change the result. Keys are stable across processes, so a disk store written by
-// one run is valid for every later one.
+// SHA-256 over the block spec, the process name, and the canonicalized
+// optimizer options (see Canonical). Keys are stable across processes,
+// so a disk store written by one run is valid for every later one.
 func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
-	opts.WarmStart = nil
-	opts.Workers = 0
-	opts.Pool = nil
-	opts.Cache = nil
-	opts.EvalHook = nil
-	opts.defaults() // normalize zero fields without the warm-start shrink
+	opts = opts.Canonical()
 	procName := ""
 	if proc != nil {
 		procName = proc.Name
@@ -213,12 +223,21 @@ func (c *Cache) storeDisk(key string, res *Result) error {
 	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
 		return err
 	}
-	// Write-rename so concurrent readers never see a torn entry.
+	// Write-sync-rename: concurrent readers never see a torn entry
+	// (rename is atomic and CreateTemp names are unique, so racing
+	// same-key writers each publish a complete file), and the Sync
+	// keeps a crash between rename and writeback from leaving a
+	// truncated entry under the final name.
 	tmp, err := os.CreateTemp(c.dir, "."+key+".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

@@ -2,8 +2,10 @@ package synth
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"pipesyn/internal/hybrid"
@@ -193,5 +195,74 @@ func TestSynthesizeCacheHitSkipsEvaluator(t *testing.T) {
 	}
 	if st := cache.Stats(); st.Hits != 2 || st.Misses != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheDiskConcurrentSameKeyPut hammers one key with concurrent
+// writers — the daemon's single-flight makes same-key writes unlikely
+// but not impossible (CLI runs and the service can share a -cache-dir)
+// — while fresh cache instances read the entry from disk. The
+// write-sync-rename protocol must never let a reader observe a torn or
+// missing entry once the first Put has landed.
+func TestCacheDiskConcurrentSameKeyPut(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{
+		Sizing:   opamp.MillerSizing{W1: 3e-6, IRef: 20e-6, CC: 1e-13},
+		Feasible: true, Evals: 7, Cost: 0.25,
+	}
+	writer.Put("cafe", res)
+
+	const writers, reads = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := *res
+			r.Evals = 100 + w // distinct payloads, same key
+			for i := 0; i < reads; i++ {
+				writer.Put("cafe", &r)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reads; i++ {
+			// A fresh instance per read forces the disk path (no memory
+			// tier to hide a torn file behind).
+			reader, err := NewCache(0, dir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, ok := reader.Get("cafe")
+			if !ok {
+				errs <- fmt.Errorf("read %d: entry missing mid-write", i)
+				return
+			}
+			if got.Cost != res.Cost || !got.Feasible {
+				errs <- fmt.Errorf("read %d: torn entry %+v", i, got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind once all writers are done.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp files: %v", matches)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"pipesyn/internal/hybrid"
 	"pipesyn/internal/mdac"
@@ -63,6 +64,23 @@ type Options struct {
 	// candidate infeasible exactly like an evaluator error. Never part
 	// of the cache key.
 	EvalHook func(ctx context.Context, eval int) error
+	// Progress, when set, runs after every completed evaluation — the
+	// observation seam the serving layer streams per-stage progress
+	// from. Unlike EvalHook it cannot influence the search: it sees the
+	// per-restart evaluation ordinal and the wall-clock cost of the
+	// evaluation it just watched. Restarts may run in parallel, so the
+	// callback must be safe for concurrent use and must not block (it
+	// runs on the evaluator's hot path). Never part of the cache key.
+	Progress func(p Progress)
+}
+
+// Progress is one evaluation-granule observation delivered to
+// Options.Progress: Eval is the 1-based ordinal within one restart's
+// evaluator, Elapsed the wall-clock cost of that evaluation (including a
+// hook-rejected candidate's bookkeeping, which is ~0).
+type Progress struct {
+	Eval    int
+	Elapsed time.Duration
 }
 
 func (o *Options) defaults() {
@@ -232,7 +250,7 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 	if err != nil {
 		return nil, 0, err
 	}
-	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW, opts.EvalHook)
+	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW, opts.EvalHook, opts.Progress)
 	best := ev.score(ctx, eqSeed)
 	if opts.WarmStart != nil {
 		// Retargeting: start from the better of the two seeds. A warm
@@ -324,13 +342,15 @@ type evaluator struct {
 	penaltyW float64
 	evals    int
 	hook     func(ctx context.Context, eval int) error
+	progress func(p Progress)
 }
 
-func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, penaltyW float64, hook func(context.Context, int) error) *evaluator {
+func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, penaltyW float64, hook func(context.Context, int) error, progress func(Progress)) *evaluator {
 	return &evaluator{
 		spec: spec, proc: proc, penaltyW: penaltyW,
-		se:   hybrid.NewStageEvaluator(spec, proc, mode),
-		hook: hook,
+		se:       hybrid.NewStageEvaluator(spec, proc, mode),
+		hook:     hook,
+		progress: progress,
 	}
 }
 
@@ -338,6 +358,10 @@ func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, 
 // violations into a scalar cost: normalized power plus weighted penalty.
 func (ev *evaluator) score(ctx context.Context, s opamp.Amp) scored {
 	ev.evals++
+	if ev.progress != nil {
+		start := time.Now()
+		defer func() { ev.progress(Progress{Eval: ev.evals, Elapsed: time.Since(start)}) }()
+	}
 	if ev.hook != nil {
 		if err := ev.hook(ctx, ev.evals); err != nil {
 			return scored{sizing: s, err: err, cost: math.Inf(1)}

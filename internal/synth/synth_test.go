@@ -51,7 +51,7 @@ func TestSynthesizeReducesPower(t *testing.T) {
 		GBW: spec.GBWMin, SR: spec.SRMin, CLoad: spec.CLoad,
 		CFeed: spec.CFeed, Gain: spec.GainMin, Swing: spec.SwingMin,
 	})
-	ev := newEvaluator(spec, proc, hybrid.Hybrid, 10, nil)
+	ev := newEvaluator(spec, proc, hybrid.Hybrid, 10, nil, nil)
 	start := ev.score(context.Background(), s0)
 	res, err := Synthesize(context.Background(), spec, proc, Options{
 		Seed: 3, MaxEvals: 150, PatternIter: 80, Mode: hybrid.Hybrid,

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Boots adcsynd, runs one tiny equation-mode study over HTTP end to end,
+# asserts the result and a /metrics scrape, then SIGTERMs the daemon and
+# checks it drains cleanly. This is the serving layer's integration
+# smoke: `make serve-smoke` and the ci.sh service lane both run it.
+set -eu
+
+PORT="${ADCSYND_PORT:-18650}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+LOG="$TMP/adcsynd.log"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/adcsynd" ./cmd/adcsynd
+
+"$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers 2 \
+  -cache-dir "$TMP/cache" -drain-timeout 10s >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for readiness.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve-smoke: daemon never became healthy" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Submit a tiny 10-bit equation-mode study.
+SUBMIT=$(curl -sf -X POST "$BASE/v1/studies" \
+  -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}')
+ID=$(echo "$SUBMIT" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || { echo "serve-smoke: bad submit: $SUBMIT" >&2; exit 1; }
+
+# The NDJSON event stream runs until the job is terminal; its last line
+# must be the done event carrying the result.
+LAST=$(curl -sf --max-time 60 "$BASE/v1/studies/$ID/events" | tail -n 1)
+echo "$LAST" | jq -e '.kind == "done" and .result.bits == 10 and (.result.best.config | length) > 0' >/dev/null \
+  || { echo "serve-smoke: bad terminal event: $LAST" >&2; exit 1; }
+
+# Status agrees, with a real result and evaluator spend.
+STATUS=$(curl -sf "$BASE/v1/studies/$ID")
+echo "$STATUS" | jq -e '.state == "done" and .result.totalEvals > 0' >/dev/null \
+  || { echo "serve-smoke: bad status: $STATUS" >&2; exit 1; }
+
+# An identical re-submission replays from the synthesis cache.
+ID2=$(curl -sf -X POST "$BASE/v1/studies" \
+  -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}' | jq -r .id)
+i=0
+until curl -sf "$BASE/v1/studies/$ID2" | jq -e '.state == "done"' >/dev/null; do
+  i=$((i + 1)); [ "$i" -le 100 ] || { echo "serve-smoke: rerun never finished" >&2; exit 1; }
+  sleep 0.1
+done
+curl -sf "$BASE/v1/studies/$ID2" | jq -e '.result.cacheHits > 0 and .result.cacheMisses == 0' >/dev/null \
+  || { echo "serve-smoke: rerun was not served from the cache" >&2; exit 1; }
+
+# Metrics scrape exposes jobs, queue, pool, cache, and eval histogram.
+METRICS=$(curl -sf "$BASE/metrics")
+for want in \
+  'adcsynd_jobs_total{event="accepted"} 2' \
+  'adcsynd_jobs{state="done"} 2' \
+  'adcsynd_queue_depth 0' \
+  'adcsynd_synth_cache_hits_total' \
+  'adcsynd_eval_duration_seconds_count'; do
+  echo "$METRICS" | grep -qF "$want" \
+    || { echo "serve-smoke: /metrics missing: $want" >&2; echo "$METRICS" >&2; exit 1; }
+done
+
+# Graceful drain: SIGTERM, clean exit, the log says so.
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+  WAITED=$((WAITED + 1))
+  [ "$WAITED" -le 100 ] || { echo "serve-smoke: daemon hung on SIGTERM" >&2; exit 1; }
+  sleep 0.1
+done
+wait "$PID" 2>/dev/null || { echo "serve-smoke: non-zero exit on drain" >&2; cat "$LOG" >&2; exit 1; }
+grep -q "drained cleanly" "$LOG" || { echo "serve-smoke: no clean-drain marker" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "serve-smoke: ok (study $ID, cached rerun $ID2, clean drain)"
