@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench bench-figures serve-smoke ci
+.PHONY: build test vet race bench bench-figures serve-smoke recover-smoke persist ci
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,20 @@ race:
 	$(GO) test -race ./internal/service
 
 # Service integration smoke: boot adcsynd, run a study over HTTP with a
-# cached rerun and a /metrics scrape, SIGTERM, assert clean drain.
+# cached rerun and a /metrics scrape, SIGTERM, assert clean drain — then
+# the crash-recovery leg (see recover-smoke).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Crash-recovery smoke only: boot with -state-dir, kill -9 mid-study,
+# restart, assert the same job is recovered and completes.
+recover-smoke:
+	SMOKE_LEG=recover ./scripts/serve_smoke.sh
+
+# Persistence lane: journal replay, crash recovery, retention/leak, and
+# cache-durability tests under the race detector.
+persist:
+	$(GO) test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' ./internal/service ./internal/synth
 
 # Kernel/evaluator benchmark lane: the la factor/solve kernels, the
 # compiled transfer-function evaluator, the sim analyses, and the
@@ -43,4 +54,4 @@ bench:
 bench-figures:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: vet test race serve-smoke
+ci: vet test race persist serve-smoke

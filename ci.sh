@@ -13,9 +13,15 @@ go test -race -short ./...
 go test -race -run 'Cancel|Fault|Leak' ./...
 # Service lane: the full adcsynd job-manager/HTTP suite under the race
 # detector (queue backpressure, single-flight dedup, NDJSON streaming,
-# drain), then the end-to-end daemon smoke: boot, study over HTTP,
-# cached rerun, /metrics scrape, SIGTERM drain.
+# drain).
 go test -race ./internal/service
+# Persistence lane: journal replay, crash recovery, the terminal-job
+# retention/leak regression (500-job soak), and the disk-cache
+# durability tests under the race detector.
+go test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' ./internal/service ./internal/synth
+# End-to-end daemon smoke, both legs: boot → study over HTTP → cached
+# rerun → /metrics → SIGTERM drain, then the kill -9 crash-recovery leg
+# (same -state-dir restart must finish the interrupted study).
 ./scripts/serve_smoke.sh
 # Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
 # so perf-path regressions (panics, singular matrices) surface in CI

@@ -6,12 +6,13 @@
 // Usage:
 //
 //	adcsynd [-addr :8080] [-workers 0] [-queue 16] [-executors 1]
-//	        [-cache-dir DIR] [-job-timeout 0] [-drain-timeout 30s]
+//	        [-cache-dir DIR] [-state-dir DIR] [-retain 256] [-retain-age 1h]
+//	        [-job-timeout 0] [-drain-timeout 30s]
 //
 // Endpoints:
 //
 //	POST   /v1/studies            submit {bits, fs, vref, mode, evals, ...}
-//	GET    /v1/studies            list jobs
+//	GET    /v1/studies            list jobs (?state= filters; /v1/jobs alias)
 //	GET    /v1/studies/{id}       status + result
 //	GET    /v1/studies/{id}/events NDJSON progress stream
 //	DELETE /v1/studies/{id}       cancel
@@ -20,9 +21,19 @@
 //
 // Identical concurrent submissions (same content address over every
 // study-shaping knob) share one execution. A full queue answers 429 with
-// Retry-After rather than queueing unboundedly. On SIGTERM/SIGINT the
-// daemon stops admitting, rejects queued jobs, gives in-flight jobs
-// -drain-timeout to finish, then cancels them and exits.
+// a Retry-After computed from the observed drain rate rather than
+// queueing unboundedly. On SIGTERM/SIGINT the daemon stops admitting,
+// rejects queued jobs, gives in-flight jobs -drain-timeout to finish,
+// then cancels them and exits.
+//
+// With -state-dir set, every admitted job is journaled to an fsync'd
+// append-only log: after a crash (kill -9 included) a restart with the
+// same -state-dir re-enqueues the jobs that were queued or running and
+// restores recent terminal results — recovered work replays from the
+// synthesis cache, so it costs roughly one cache sweep. Terminal jobs
+// are kept queryable in a ring bounded by -retain / -retain-age; older
+// ones are evicted so the daemon's memory stays flat under sustained
+// traffic.
 package main
 
 import (
@@ -47,6 +58,9 @@ func main() {
 	executors := flag.Int("executors", 1, "studies running concurrently (each fans out on the shared workers)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed synthesis cache directory (empty = memory only)")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache entries (0 = default)")
+	stateDir := flag.String("state-dir", "", "job journal directory for crash recovery (empty = in-memory jobs only)")
+	retain := flag.Int("retain", 256, "terminal jobs kept queryable before eviction")
+	retainAge := flag.Duration("retain-age", time.Hour, "terminal jobs older than this are evicted (0 = no age bound)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per study (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
 	flag.Parse()
@@ -57,13 +71,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var journal *service.Journal
+	if *stateDir != "" {
+		if journal, err = service.OpenJournal(*stateDir); err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	}
 	man := service.NewManager(service.Config{
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		Executors:  *executors,
 		JobTimeout: *jobTimeout,
 		Cache:      cache,
+		Journal:    journal,
+		Retain:     *retain,
+		RetainAge:  *retainAge,
 	})
+	if journal != nil {
+		stats, err := man.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if stats.Records > 0 || stats.Dropped > 0 {
+			fmt.Fprintf(os.Stderr,
+				"adcsynd: journal replay: %d records (%d torn), %d jobs re-enqueued, %d unrecoverable, %d terminal restored\n",
+				stats.Records, stats.Dropped, stats.Recovered, stats.Failed, stats.Restored)
+		}
+	}
 	man.Start()
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(man)}
 

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pipesyn/internal/sched"
+	"pipesyn/internal/synth"
+)
+
+// TestStudyKeyIgnoresExecutionKnobs pins the property the serving
+// layer's crash recovery depends on: a job journaled in one process and
+// re-submitted in another must land on the same content address even
+// though pools, caches, worker counts, and observation hooks are all
+// rebuilt from scratch. Only the study-shaping inputs may move the key.
+func TestStudyKeyIgnoresExecutionKnobs(t *testing.T) {
+	base := Options{Bits: 12, SampleRate: 40e6, VRef: 1.0, Synth: synth.Options{Seed: 7, MaxEvals: 50}}
+	key := StudyKey(base)
+	if key == "" || key != StudyKey(base) {
+		t.Fatalf("StudyKey not deterministic: %q vs %q", key, StudyKey(base))
+	}
+
+	cache, err := synth.NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := base
+	exec.Workers = 3
+	exec.Pool = sched.NewPool(2)
+	exec.Progress = func(ProgressEvent) {}
+	exec.Synth.Cache = cache
+	exec.Synth.EvalHook = func(context.Context, int) error { return nil }
+	exec.Synth.Progress = func(synth.Progress) {}
+	exec.Synth.Workers = 5
+	if got := StudyKey(exec); got != key {
+		t.Fatalf("execution knobs changed the key: %q vs %q", got, key)
+	}
+
+	// Defaults are normalized: spelling a zero field explicitly is the
+	// same study.
+	spelled := base
+	spelled.SampleRate = 0 // defaults to 40e6
+	if got := StudyKey(spelled); got != key {
+		t.Fatalf("default normalization broken: %q vs %q", got, key)
+	}
+
+	for name, mut := range map[string]func(*Options){
+		"bits": func(o *Options) { o.Bits = 13 },
+		"rate": func(o *Options) { o.SampleRate = 80e6 },
+		"seed": func(o *Options) { o.Synth.Seed = 8 },
+		"mode": func(o *Options) { o.Mode = 2 },
+		"sha":  func(o *Options) { o.IncludeSHA = true },
+	} {
+		changed := base
+		mut(&changed)
+		if StudyKey(changed) == key {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}

@@ -32,11 +32,12 @@ func (s State) Terminal() bool {
 // Event is one line of a job's NDJSON progress stream. Seq increases by
 // one per event within a job, so a consumer can detect gaps. Progress
 // carries the study-level payload on kind "progress"; Result rides the
-// terminal "done" event.
+// terminal "done" event. A job re-enqueued from the journal after a
+// crash opens its stream with kind "recovered" instead of "queued".
 type Event struct {
 	Seq      int                 `json:"seq"`
 	JobID    string              `json:"job"`
-	Kind     string              `json:"kind"` // queued|started|progress|done|failed|cancelled
+	Kind     string              `json:"kind"` // queued|recovered|started|progress|done|failed|cancelled
 	State    State               `json:"state"`
 	Progress *core.ProgressEvent `json:"progress,omitempty"`
 	Error    string              `json:"error,omitempty"`
@@ -204,6 +205,18 @@ type Config struct {
 	// use, here so service tests can gate a job mid-run. Nil in
 	// production.
 	EvalHook func(ctx context.Context, eval int) error
+	// Journal is the durable job WAL (nil = in-memory only). When set,
+	// call Recover before Start so jobs admitted before a crash are
+	// replayed rather than lost.
+	Journal *Journal
+	// Retain bounds how many terminal jobs stay queryable (default 256).
+	// Older terminal jobs are evicted — from the ring AND the job table,
+	// so a long-running daemon's memory stays proportional to Retain
+	// plus the active set, not to total traffic.
+	Retain int
+	// RetainAge additionally evicts terminal jobs older than this
+	// (0 = no age bound).
+	RetainAge time.Duration
 }
 
 // Manager owns the job table, the bounded admission queue, and the
@@ -215,11 +228,13 @@ type Manager struct {
 
 	queue chan *Job
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	byKey    map[string]*Job // queued/running job per study key (single-flight)
-	nextID   int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	byKey     map[string]*Job // queued/running job per study key (single-flight)
+	terminals []*Job          // retention ring, oldest first; members of jobs
+	avgJobNS  float64         // EWMA of completed-job wall time (drives Retry-After)
+	nextID    int
+	draining  bool
 
 	loopCtx  context.Context
 	stopLoop context.CancelFunc
@@ -236,6 +251,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = &Metrics{}
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
@@ -269,6 +287,214 @@ func (m *Manager) Start() {
 			}
 		}()
 	}
+}
+
+// RecoveryError is the typed reason a journaled job could not be
+// re-enqueued after a crash: its request no longer validates, its
+// content address no longer matches, or the journal entry is missing
+// the request altogether. The job is finalized failed with this error
+// so the outcome is queryable instead of silently dropped.
+type RecoveryError struct {
+	JobID  string
+	Reason string
+}
+
+func (e *RecoveryError) Error() string {
+	return fmt.Sprintf("service: job %s unrecoverable after restart: %s", e.JobID, e.Reason)
+}
+
+// RecoveryStats summarizes one journal replay.
+type RecoveryStats struct {
+	Records   int // decodable journal records replayed
+	Dropped   int // torn or corrupt lines skipped (expected after a crash)
+	Recovered int // queued/running jobs re-enqueued for execution
+	Failed    int // unrecoverable entries finalized failed (*RecoveryError)
+	Restored  int // terminal jobs restored into the retention ring
+}
+
+// Recover replays the configured journal into the job table. Call it
+// after NewManager and before Start (it assumes no concurrent use):
+// terminal jobs are restored with their results, jobs that were queued
+// or running when the process died are re-enqueued behind a "recovered"
+// event — their content-addressed StudyKey means the re-run replays
+// from the synthesis cache — and entries that no longer validate are
+// finalized failed with a *RecoveryError. The journal is compacted to
+// the reconstructed table before returning. With no journal configured
+// Recover is a no-op.
+func (m *Manager) Recover() (RecoveryStats, error) {
+	var stats RecoveryStats
+	jn := m.cfg.Journal
+	if jn == nil {
+		return stats, nil
+	}
+	recs, dropped, err := jn.replay()
+	stats.Dropped = dropped
+	if err != nil {
+		return stats, err
+	}
+	stats.Records = len(recs)
+
+	// Fold the log: last writer wins per job, submit order preserved.
+	type folded struct {
+		submit  journalRecord
+		state   State
+		errStr  string
+		result  *StudyJSON
+		final   time.Time
+		evicted bool
+	}
+	var order []string
+	byID := make(map[string]*folded)
+	for _, rec := range recs {
+		if rec.Op == "submit" {
+			if _, ok := byID[rec.ID]; !ok {
+				order = append(order, rec.ID)
+			}
+			byID[rec.ID] = &folded{submit: rec, state: StateQueued}
+			continue
+		}
+		f, ok := byID[rec.ID]
+		if !ok {
+			stats.Dropped++ // start/final/evict without a submit
+			continue
+		}
+		switch rec.Op {
+		case "start":
+			f.state = StateRunning
+		case "final":
+			f.state, f.errStr, f.result, f.final = rec.State, rec.Error, rec.Result, rec.Time
+		case "evict":
+			f.evicted = true
+		default:
+			stats.Dropped++
+		}
+	}
+
+	type pending struct {
+		job *Job
+		key string
+	}
+	var pend []pending
+	for _, id := range order {
+		f := byID[id]
+		if f.evicted {
+			continue
+		}
+		// Keep IDs monotonic across restarts.
+		var n int
+		if _, err := fmt.Sscanf(id, "s%d-", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		var req StudyRequest
+		if f.submit.Req != nil {
+			req = *f.submit.Req
+		}
+		job := &Job{
+			ID: id, Key: f.submit.Key, Req: req, Created: f.submit.Created,
+			state: StateQueued,
+			subs:  make(map[int]chan Event),
+			done:  make(chan struct{}),
+		}
+
+		if f.state.Terminal() {
+			job.state = f.state
+			job.result = f.result
+			job.finished = f.final
+			if f.errStr != "" {
+				job.err = errors.New(f.errStr)
+			}
+			job.events = []Event{{JobID: id, Kind: string(f.state), State: f.state, Result: f.result, Error: f.errStr}}
+			close(job.done)
+			m.mu.Lock()
+			m.jobs[id] = job
+			m.terminals = append(m.terminals, job)
+			m.mu.Unlock()
+			stats.Restored++
+			continue
+		}
+
+		// Queued or running at crash time: validate the round trip
+		// request → options → StudyKey before re-enqueueing.
+		reason := ""
+		key := f.submit.Key
+		if f.submit.Req == nil {
+			reason = "journal entry has no request"
+		} else if opts, err := req.Options(); err != nil {
+			reason = "request no longer validates: " + err.Error()
+		} else if rekey := core.StudyKey(opts); key == "" {
+			key = rekey
+			job.Key = rekey
+		} else if rekey != key {
+			reason = "study content address changed across restart"
+		}
+		m.mu.Lock()
+		m.jobs[id] = job
+		if reason == "" {
+			if _, dup := m.byKey[key]; dup {
+				reason = "another in-flight job holds the same study key"
+			} else {
+				m.byKey[key] = job
+			}
+		}
+		m.mu.Unlock()
+		if reason != "" {
+			m.metrics.JobsRecoveryFailed.Add(1)
+			stats.Failed++
+			m.finalize(job, StateFailed, nil, &RecoveryError{JobID: id, Reason: reason})
+			continue
+		}
+		pend = append(pend, pending{job, key})
+	}
+
+	// Every recovered job must fit the admission queue; grow it before
+	// the executors start rather than fail jobs that already earned
+	// their 202 in a previous life.
+	if len(pend) > cap(m.queue) {
+		m.queue = make(chan *Job, len(pend)+m.cfg.QueueCap)
+	}
+	for _, p := range pend {
+		p.job.appendEvent("recovered", nil)
+		m.queue <- p.job
+		m.metrics.JobsRecovered.Add(1)
+		stats.Recovered++
+	}
+
+	m.mu.Lock()
+	m.evictLocked(time.Now())
+	m.mu.Unlock()
+	m.compactJournal()
+	return stats, nil
+}
+
+// RetryAfter estimates how many seconds a 429'd client should wait for
+// an admission slot: the EWMA of recent job service times, scaled by
+// the queue depth ahead of it and the executor parallelism, clamped to
+// [1, 60]. Before any job has finished it falls back to 1 second.
+func (m *Manager) RetryAfter() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return computeRetryAfter(time.Duration(m.avgJobNS), len(m.queue), m.cfg.Executors)
+}
+
+func computeRetryAfter(avgJob time.Duration, depth, executors int) int {
+	if avgJob <= 0 {
+		return 1
+	}
+	if executors < 1 {
+		executors = 1
+	}
+	est := avgJob * time.Duration(depth+1) / time.Duration(executors)
+	secs := int(est / time.Second)
+	if est%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Submit admits a study request. When an identical study (same content
@@ -313,6 +539,16 @@ func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
 	m.byKey[key] = job
 	m.metrics.JobsAccepted.Add(1)
 	job.appendEvent("queued", nil)
+	// Journal inside the admission critical section: once the caller has
+	// the 202, the job survives a crash. The fsync cost rides the
+	// submission path, which is rare next to the work it admits.
+	if m.cfg.Journal != nil {
+		req := job.Req
+		m.cfg.Journal.append(journalRecord{
+			Op: "submit", ID: job.ID, Time: time.Now(),
+			Key: key, Req: &req, Created: job.Created,
+		})
+	}
 	return job, false, nil
 }
 
@@ -324,9 +560,12 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs snapshots every job's status, newest first.
-func (m *Manager) Jobs() []JobStatus {
+// Jobs snapshots every job's status, newest first. A non-empty filter
+// keeps only jobs in that state. Age-based retention is applied lazily
+// here (and on scrape), so an idle daemon still sheds old terminals.
+func (m *Manager) Jobs(filter State) []JobStatus {
 	m.mu.Lock()
+	m.evictLocked(time.Now())
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -334,7 +573,11 @@ func (m *Manager) Jobs() []JobStatus {
 	m.mu.Unlock()
 	out := make([]JobStatus, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, j.Status())
+		st := j.Status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
 	}
 	// Newest first by ID (IDs are monotonic).
 	for i := 0; i < len(out); i++ {
@@ -379,6 +622,7 @@ func (m *Manager) Cancel(id string) error {
 // Snapshot assembles the gauge set for a /metrics scrape.
 func (m *Manager) Snapshot() Snapshot {
 	m.mu.Lock()
+	m.evictLocked(time.Now())
 	byState := make(map[State]int)
 	for _, j := range m.jobs {
 		byState[j.State()]++
@@ -389,9 +633,13 @@ func (m *Manager) Snapshot() Snapshot {
 		QueueDepth:    len(m.queue),
 		QueueCapacity: cap(m.queue),
 		JobsByState:   byState,
+		Retained:      len(m.terminals),
 		Draining:      m.draining,
 	}
 	m.mu.Unlock()
+	if m.cfg.Journal != nil {
+		snap.Journal = m.cfg.Journal.Stats()
+	}
 	snap.PoolQueued = m.pool.Queued()
 	snap.PoolInFlight = m.pool.InFlight()
 	snap.PoolWorkers = m.pool.Workers()
@@ -421,6 +669,11 @@ func (m *Manager) runJob(job *Job) {
 		return // cancelled while queued
 	}
 	job.appendEvent("started", nil)
+	if m.cfg.Journal != nil {
+		// Losing this record to a crash is harmless: a job journaled as
+		// queued is re-enqueued by replay exactly like a running one.
+		m.cfg.Journal.append(journalRecord{Op: "start", ID: job.ID, Time: time.Now()})
+	}
 
 	opts, err := job.Req.Options()
 	if err != nil {
@@ -458,9 +711,15 @@ func (m *Manager) runJob(job *Job) {
 // outcome, emits the terminal event, closes subscriber channels and the
 // done channel, releases the single-flight key, and bumps the counters.
 func (m *Manager) finalize(job *Job, state State, result *StudyJSON, err error) {
+	// Manager.mu wraps the whole transition (lock order Manager.mu →
+	// Job.mu) so the terminal flip, the single-flight release, and the
+	// retention-ring insert are one atomic step: anyone who observes the
+	// job as done also observes a correctly bounded job table.
+	m.mu.Lock()
 	job.mu.Lock()
 	if job.state.Terminal() {
 		job.mu.Unlock()
+		m.mu.Unlock()
 		return
 	}
 	job.state = state
@@ -485,13 +744,39 @@ func (m *Manager) finalize(job *Job, state State, result *StudyJSON, err error) 
 		close(ch)
 	}
 	close(job.done)
+	started, finished := job.started, job.finished
 	job.mu.Unlock()
 
-	m.mu.Lock()
 	if m.byKey[job.Key] == job {
 		delete(m.byKey, job.Key)
 	}
+	// Terminal jobs enter the retention ring instead of living in
+	// m.jobs forever; eviction below is what keeps the daemon's memory
+	// bounded under sustained traffic.
+	m.terminals = append(m.terminals, job)
+	if !started.IsZero() {
+		// EWMA of job service time, the drain-rate estimate behind
+		// Retry-After on 429.
+		d := float64(finished.Sub(started))
+		if m.avgJobNS == 0 {
+			m.avgJobNS = d
+		} else {
+			m.avgJobNS += 0.3 * (d - m.avgJobNS)
+		}
+	}
+	m.evictLocked(time.Now())
 	m.mu.Unlock()
+
+	// Journal after the in-memory flip: a crash in the gap replays the
+	// job as queued/running and re-runs it, which the content-addressed
+	// synthesis cache makes nearly free — at-least-once, never lost.
+	if m.cfg.Journal != nil {
+		rec := journalRecord{Op: "final", ID: job.ID, Time: time.Now(), State: state, Result: result}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		m.cfg.Journal.append(rec)
+	}
 
 	switch state {
 	case StateDone:
@@ -501,6 +786,61 @@ func (m *Manager) finalize(job *Job, state State, result *StudyJSON, err error) 
 	case StateCancelled:
 		m.metrics.JobsCancelled.Add(1)
 	}
+
+	if j := m.cfg.Journal; j != nil && j.recordsSinceCompact() > journalCompactEvery {
+		m.compactJournal()
+	}
+}
+
+// evictLocked (caller holds m.mu) trims the terminal-job ring to the
+// size and age bounds, removing evicted jobs from the job table — the
+// fix for the unbounded m.jobs growth the serving layer shipped with.
+func (m *Manager) evictLocked(now time.Time) {
+	for len(m.terminals) > 0 {
+		oldest := m.terminals[0]
+		over := len(m.terminals) > m.cfg.Retain
+		if !over && m.cfg.RetainAge > 0 {
+			oldest.mu.Lock()
+			over = now.Sub(oldest.finished) > m.cfg.RetainAge
+			oldest.mu.Unlock()
+		}
+		if !over {
+			return
+		}
+		m.terminals[0] = nil
+		m.terminals = m.terminals[1:]
+		delete(m.jobs, oldest.ID)
+		m.metrics.JobsEvicted.Add(1)
+		if m.cfg.Journal != nil {
+			m.cfg.Journal.append(journalRecord{Op: "evict", ID: oldest.ID, Time: now})
+		}
+	}
+}
+
+// compactJournal rewrites the WAL as one submit record per live job
+// plus a final record for the retained terminals. Replay of the
+// compacted file reconstructs exactly the current job table.
+func (m *Manager) compactJournal() {
+	m.mu.Lock()
+	recs := make([]journalRecord, 0, 2*len(m.jobs))
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		req := j.Req
+		recs = append(recs, journalRecord{
+			Op: "submit", ID: j.ID, Time: j.Created,
+			Key: j.Key, Req: &req, Created: j.Created,
+		})
+		if j.state.Terminal() {
+			rec := journalRecord{Op: "final", ID: j.ID, Time: j.finished, State: j.state, Result: j.result}
+			if j.err != nil {
+				rec.Error = j.err.Error()
+			}
+			recs = append(recs, rec)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	_ = m.cfg.Journal.compact(recs)
 }
 
 // Drain shuts the manager down: new submissions are rejected, queued

@@ -34,6 +34,11 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
 
+	// Durability and retention outcomes.
+	JobsRecovered      atomic.Int64 // re-enqueued from the journal after a restart
+	JobsRecoveryFailed atomic.Int64 // journaled jobs finalized failed with *RecoveryError
+	JobsEvicted        atomic.Int64 // terminal jobs dropped by the retention ring
+
 	evalCount   atomic.Int64
 	evalSumNS   atomic.Int64
 	evalBuckets [16]atomic.Int64 // len(evalBuckets)+1 for +Inf
@@ -64,11 +69,13 @@ type Snapshot struct {
 	QueueDepth    int
 	QueueCapacity int
 	JobsByState   map[State]int
+	Retained      int // terminal jobs currently held by the retention ring
 	PoolQueued    int64
 	PoolInFlight  int64
 	PoolWorkers   int
 	CacheHits     int64
 	CacheMisses   int64
+	Journal       JournalStats // zero value when no journal is configured
 	Draining      bool
 }
 
@@ -93,6 +100,9 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 		{"done", m.JobsDone.Load()},
 		{"failed", m.JobsFailed.Load()},
 		{"cancelled", m.JobsCancelled.Load()},
+		{"recovered", m.JobsRecovered.Load()},
+		{"recovery_failed", m.JobsRecoveryFailed.Load()},
+		{"evicted", m.JobsEvicted.Load()},
 	} {
 		fmt.Fprintf(w, "adcsynd_jobs_total{event=%q} %d\n", kv.label, kv.v)
 	}
@@ -101,6 +111,9 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "adcsynd_jobs{state=%q} %d\n", st, snap.JobsByState[st])
 	}
+
+	gauge("adcsynd_jobs_retained", "Terminal jobs held by the retention ring.")
+	fmt.Fprintf(w, "adcsynd_jobs_retained %d\n", snap.Retained)
 
 	gauge("adcsynd_queue_depth", "Jobs waiting in the admission queue.")
 	fmt.Fprintf(w, "adcsynd_queue_depth %d\n", snap.QueueDepth)
@@ -118,6 +131,15 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "adcsynd_synth_cache_hits_total %d\n", snap.CacheHits)
 	counter("adcsynd_synth_cache_misses_total", "Content-addressed synthesis cache misses.")
 	fmt.Fprintf(w, "adcsynd_synth_cache_misses_total %d\n", snap.CacheMisses)
+
+	gauge("adcsynd_journal_records", "Journal records appended since the last compaction.")
+	fmt.Fprintf(w, "adcsynd_journal_records %d\n", snap.Journal.Records)
+	gauge("adcsynd_journal_bytes", "Journal file size on disk.")
+	fmt.Fprintf(w, "adcsynd_journal_bytes %d\n", snap.Journal.Bytes)
+	counter("adcsynd_journal_compactions_total", "Journal rewrites since the daemon started.")
+	fmt.Fprintf(w, "adcsynd_journal_compactions_total %d\n", snap.Journal.Compactions)
+	counter("adcsynd_journal_errors_total", "Journal append/fsync failures (durability degraded).")
+	fmt.Fprintf(w, "adcsynd_journal_errors_total %d\n", snap.Journal.Errors)
 
 	gauge("adcsynd_draining", "1 while the daemon is draining for shutdown.")
 	d := 0

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Server is the daemon's HTTP surface over a Manager:
@@ -12,7 +13,8 @@ import (
 //	POST   /v1/studies            submit a study (202; 200 when deduped;
 //	                              429 + Retry-After when the queue is full;
 //	                              503 while draining)
-//	GET    /v1/studies            list jobs, newest first
+//	GET    /v1/studies            list jobs, newest first; ?state= filters
+//	GET    /v1/jobs               alias of the listing above
 //	GET    /v1/studies/{id}       job status (+ result when done)
 //	GET    /v1/studies/{id}/events per-stage progress as NDJSON, streamed
 //	                              until the job is terminal
@@ -29,6 +31,7 @@ func NewServer(man *Manager) *Server {
 	s := &Server{man: man, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/studies", s.submit)
 	s.mux.HandleFunc("GET /v1/studies", s.list)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/studies/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/studies/{id}", s.cancel)
@@ -60,8 +63,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure, not failure: the client should retry once the
-		// queue moves. One study is the natural retry granule.
-		w.Header().Set("Retry-After", "1")
+		// queue has likely drained a slot. The manager estimates that
+		// from the observed completion rate (clamped to [1, 60] s).
+		w.Header().Set("Retry-After", strconv.Itoa(s.man.RetryAfter()))
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -84,9 +88,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	filter := State(r.URL.Query().Get("state"))
+	switch filter {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", filter))
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Jobs []JobStatus `json:"jobs"`
-	}{s.man.Jobs()})
+	}{s.man.Jobs(filter)})
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {

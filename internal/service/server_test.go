@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -159,8 +160,16 @@ func TestServiceQueueFullReturns429(t *testing.T) {
 	if resp3.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit: HTTP %d, want 429", resp3.StatusCode)
 	}
-	if ra := resp3.Header.Get("Retry-After"); ra == "" {
+	// Retry-After is computed from the observed drain rate; whatever the
+	// estimate, the wire form must be an integer number of seconds ≥ 1
+	// (RFC 9110 delay-seconds) so naive clients can sleep on it.
+	ra := resp3.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After %q does not parse as clamped delay-seconds: %v", ra, err)
 	}
 	if got := man.Metrics().JobsRejected.Load(); got != 1 {
 		t.Fatalf("rejected counter %d, want 1", got)
@@ -296,6 +305,74 @@ func TestServiceEventsNDJSONOrdering(t *testing.T) {
 	}
 	if doneCount != points {
 		t.Fatalf("%d point_done events for %d planned points", doneCount, points)
+	}
+}
+
+// TestServiceListStateFilter covers the ?state= listing filter (and its
+// /v1/jobs alias): running and terminal jobs land in the right buckets
+// and an unknown state is a 400, not an empty list.
+func TestServiceListStateFilter(t *testing.T) {
+	gate := make(chan struct{})
+	man := service.NewManager(service.Config{
+		Workers: 1, QueueCap: 4, Executors: 1,
+		EvalHook: func(ctx context.Context, eval int) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	_, stalled := postStudy(t, ts, tinyStudy(10))
+	waitState(t, ts, stalled.ID, service.StateRunning)
+
+	listIDs := func(path string) []string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		var list struct {
+			Jobs []service.JobStatus `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, 0, len(list.Jobs))
+		for _, j := range list.Jobs {
+			ids = append(ids, j.ID)
+		}
+		return ids
+	}
+
+	if ids := listIDs("/v1/studies?state=running"); len(ids) != 1 || ids[0] != stalled.ID {
+		t.Fatalf("running filter %v, want [%s]", ids, stalled.ID)
+	}
+	if ids := listIDs("/v1/jobs?state=done"); len(ids) != 0 {
+		t.Fatalf("done filter before completion %v, want empty", ids)
+	}
+	close(gate)
+	waitState(t, ts, stalled.ID, service.StateDone)
+	if ids := listIDs("/v1/jobs?state=done"); len(ids) != 1 || ids[0] != stalled.ID {
+		t.Fatalf("done filter %v, want [%s]", ids, stalled.ID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/studies?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus state filter: HTTP %d, want 400", resp.StatusCode)
 	}
 }
 

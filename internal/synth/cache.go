@@ -246,5 +246,17 @@ func (c *Cache) storeDisk(key string, res *Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.diskPath(key))
+	if err := os.Rename(tmp.Name(), c.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The data is durable but the rename is not until the directory
+	// entry itself is synced: a crash here could resurface the old name
+	// set and lose the entry. Cheap next to the synthesis it caches.
+	dir, err := os.Open(c.dir)
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }

@@ -265,4 +265,30 @@ func TestCacheDiskConcurrentSameKeyPut(t *testing.T) {
 	if len(matches) != 0 {
 		t.Fatalf("leftover temp files: %v", matches)
 	}
+
+	// The survivor under the final name must be exactly one complete
+	// entry from one of the writers — write-sync-rename-syncdir ends
+	// with a durable, whole file, never an interleaving.
+	final, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := final.Get("cafe")
+	if !ok {
+		t.Fatal("entry missing after all writers finished")
+	}
+	valid := got.Evals == res.Evals
+	for w := 0; w < writers; w++ {
+		valid = valid || got.Evals == 100+w
+	}
+	if !valid || got.Cost != res.Cost || !got.Feasible {
+		t.Fatalf("final entry %+v is not any writer's payload", got)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly one durable entry, found %v", entries)
+	}
 }

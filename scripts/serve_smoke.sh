@@ -1,83 +1,165 @@
 #!/bin/sh
-# Boots adcsynd, runs one tiny equation-mode study over HTTP end to end,
-# asserts the result and a /metrics scrape, then SIGTERMs the daemon and
-# checks it drains cleanly. This is the serving layer's integration
-# smoke: `make serve-smoke` and the ci.sh service lane both run it.
+# adcsynd integration smoke, two legs:
+#
+#   main     boot, run one tiny equation-mode study over HTTP end to end,
+#            assert the result + a /metrics scrape, SIGTERM, clean drain.
+#   recover  boot with -state-dir, submit a multi-second hybrid study,
+#            kill -9 mid-run, restart on the same state dir, and assert
+#            the SAME job id is re-enqueued (recovered event in its
+#            NDJSON stream, recovered counter on /metrics) and completes
+#            without resubmission.
+#
+# SMOKE_LEG selects: all (default), main, or recover. `make serve-smoke`
+# runs both; `make recover-smoke` and the ci.sh persistence lane run the
+# recovery leg.
 set -eu
 
 PORT="${ADCSYND_PORT:-18650}"
 BASE="http://127.0.0.1:$PORT"
+LEG="${SMOKE_LEG:-all}"
 TMP="$(mktemp -d)"
-LOG="$TMP/adcsynd.log"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PID=""
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/adcsynd" ./cmd/adcsynd
 
-"$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers 2 \
-  -cache-dir "$TMP/cache" -drain-timeout 10s >"$LOG" 2>&1 &
-PID=$!
+wait_healthy() {
+  i=0
+  until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "serve-smoke: daemon never became healthy" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
 
-# Wait for readiness.
-i=0
-until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "serve-smoke: daemon never became healthy" >&2
-    cat "$LOG" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+wait_state() { # id want max_iterations log
+  i=0
+  until curl -sf "$BASE/v1/studies/$1" | jq -e ".state == \"$2\"" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le "$3" ] || { echo "serve-smoke: job $1 never reached $2" >&2; cat "$4" >&2; exit 1; }
+    sleep 0.1
+  done
+}
 
-# Submit a tiny 10-bit equation-mode study.
-SUBMIT=$(curl -sf -X POST "$BASE/v1/studies" \
-  -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}')
-ID=$(echo "$SUBMIT" | jq -r .id)
-[ -n "$ID" ] && [ "$ID" != null ] || { echo "serve-smoke: bad submit: $SUBMIT" >&2; exit 1; }
+sigterm_drain() { # pid log
+  kill -TERM "$1"
+  WAITED=0
+  while kill -0 "$1" 2>/dev/null; do
+    WAITED=$((WAITED + 1))
+    [ "$WAITED" -le 200 ] || { echo "serve-smoke: daemon hung on SIGTERM" >&2; exit 1; }
+    sleep 0.1
+  done
+  wait "$1" 2>/dev/null || { echo "serve-smoke: non-zero exit on drain" >&2; cat "$2" >&2; exit 1; }
+  grep -q "drained cleanly" "$2" || { echo "serve-smoke: no clean-drain marker" >&2; cat "$2" >&2; exit 1; }
+}
 
-# The NDJSON event stream runs until the job is terminal; its last line
-# must be the done event carrying the result.
-LAST=$(curl -sf --max-time 60 "$BASE/v1/studies/$ID/events" | tail -n 1)
-echo "$LAST" | jq -e '.kind == "done" and .result.bits == 10 and (.result.best.config | length) > 0' >/dev/null \
-  || { echo "serve-smoke: bad terminal event: $LAST" >&2; exit 1; }
+main_leg() {
+  LOG="$TMP/adcsynd.log"
+  "$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers 2 \
+    -cache-dir "$TMP/cache" -drain-timeout 10s >"$LOG" 2>&1 &
+  PID=$!
+  wait_healthy "$LOG"
 
-# Status agrees, with a real result and evaluator spend.
-STATUS=$(curl -sf "$BASE/v1/studies/$ID")
-echo "$STATUS" | jq -e '.state == "done" and .result.totalEvals > 0' >/dev/null \
-  || { echo "serve-smoke: bad status: $STATUS" >&2; exit 1; }
+  # Submit a tiny 10-bit equation-mode study.
+  SUBMIT=$(curl -sf -X POST "$BASE/v1/studies" \
+    -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}')
+  ID=$(echo "$SUBMIT" | jq -r .id)
+  [ -n "$ID" ] && [ "$ID" != null ] || { echo "serve-smoke: bad submit: $SUBMIT" >&2; exit 1; }
 
-# An identical re-submission replays from the synthesis cache.
-ID2=$(curl -sf -X POST "$BASE/v1/studies" \
-  -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}' | jq -r .id)
-i=0
-until curl -sf "$BASE/v1/studies/$ID2" | jq -e '.state == "done"' >/dev/null; do
-  i=$((i + 1)); [ "$i" -le 100 ] || { echo "serve-smoke: rerun never finished" >&2; exit 1; }
-  sleep 0.1
-done
-curl -sf "$BASE/v1/studies/$ID2" | jq -e '.result.cacheHits > 0 and .result.cacheMisses == 0' >/dev/null \
-  || { echo "serve-smoke: rerun was not served from the cache" >&2; exit 1; }
+  # The NDJSON event stream runs until the job is terminal; its last line
+  # must be the done event carrying the result.
+  LAST=$(curl -sf --max-time 60 "$BASE/v1/studies/$ID/events" | tail -n 1)
+  echo "$LAST" | jq -e '.kind == "done" and .result.bits == 10 and (.result.best.config | length) > 0' >/dev/null \
+    || { echo "serve-smoke: bad terminal event: $LAST" >&2; exit 1; }
 
-# Metrics scrape exposes jobs, queue, pool, cache, and eval histogram.
-METRICS=$(curl -sf "$BASE/metrics")
-for want in \
-  'adcsynd_jobs_total{event="accepted"} 2' \
-  'adcsynd_jobs{state="done"} 2' \
-  'adcsynd_queue_depth 0' \
-  'adcsynd_synth_cache_hits_total' \
-  'adcsynd_eval_duration_seconds_count'; do
-  echo "$METRICS" | grep -qF "$want" \
-    || { echo "serve-smoke: /metrics missing: $want" >&2; echo "$METRICS" >&2; exit 1; }
-done
+  # Status agrees, with a real result and evaluator spend.
+  STATUS=$(curl -sf "$BASE/v1/studies/$ID")
+  echo "$STATUS" | jq -e '.state == "done" and .result.totalEvals > 0' >/dev/null \
+    || { echo "serve-smoke: bad status: $STATUS" >&2; exit 1; }
 
-# Graceful drain: SIGTERM, clean exit, the log says so.
-kill -TERM "$PID"
-WAITED=0
-while kill -0 "$PID" 2>/dev/null; do
-  WAITED=$((WAITED + 1))
-  [ "$WAITED" -le 100 ] || { echo "serve-smoke: daemon hung on SIGTERM" >&2; exit 1; }
-  sleep 0.1
-done
-wait "$PID" 2>/dev/null || { echo "serve-smoke: non-zero exit on drain" >&2; cat "$LOG" >&2; exit 1; }
-grep -q "drained cleanly" "$LOG" || { echo "serve-smoke: no clean-drain marker" >&2; cat "$LOG" >&2; exit 1; }
+  # An identical re-submission replays from the synthesis cache.
+  ID2=$(curl -sf -X POST "$BASE/v1/studies" \
+    -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}' | jq -r .id)
+  wait_state "$ID2" done 100 "$LOG"
+  curl -sf "$BASE/v1/studies/$ID2" | jq -e '.result.cacheHits > 0 and .result.cacheMisses == 0' >/dev/null \
+    || { echo "serve-smoke: rerun was not served from the cache" >&2; exit 1; }
 
-echo "serve-smoke: ok (study $ID, cached rerun $ID2, clean drain)"
+  # The state-filtered listing sees both terminal jobs.
+  curl -sf "$BASE/v1/jobs?state=done" | jq -e '.jobs | length == 2' >/dev/null \
+    || { echo "serve-smoke: state filter lost jobs" >&2; exit 1; }
+
+  # Metrics scrape exposes jobs, queue, pool, cache, retention, and the
+  # eval histogram.
+  METRICS=$(curl -sf "$BASE/metrics")
+  for want in \
+    'adcsynd_jobs_total{event="accepted"} 2' \
+    'adcsynd_jobs{state="done"} 2' \
+    'adcsynd_jobs_retained 2' \
+    'adcsynd_queue_depth 0' \
+    'adcsynd_synth_cache_hits_total' \
+    'adcsynd_eval_duration_seconds_count'; do
+    echo "$METRICS" | grep -qF "$want" \
+      || { echo "serve-smoke: /metrics missing: $want" >&2; echo "$METRICS" >&2; exit 1; }
+  done
+
+  sigterm_drain "$PID" "$LOG"
+  PID=""
+  echo "serve-smoke: main leg ok (study $ID, cached rerun $ID2, clean drain)"
+}
+
+recover_leg() {
+  STATE="$TMP/state"
+  RLOG="$TMP/recover1.log"
+  "$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers 2 \
+    -cache-dir "$TMP/rcache" -state-dir "$STATE" -drain-timeout 10s >"$RLOG" 2>&1 &
+  PID=$!
+  wait_healthy "$RLOG"
+
+  # A hybrid study big enough to still be mid-flight when the SIGKILL
+  # lands (several seconds of simulation-backed evaluations).
+  RID=$(curl -sf -X POST "$BASE/v1/studies" \
+    -d '{"bits":10,"mode":"hybrid","evals":60,"pattern":30,"seed":7}' | jq -r .id)
+  [ -n "$RID" ] && [ "$RID" != null ] || { echo "serve-smoke: bad recovery submit" >&2; exit 1; }
+  wait_state "$RID" running 100 "$RLOG"
+
+  # Crash: no drain, no warning — the journal alone carries the job.
+  kill -9 "$PID"
+  wait "$PID" 2>/dev/null || true
+  PID=""
+
+  RLOG2="$TMP/recover2.log"
+  "$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers 2 \
+    -cache-dir "$TMP/rcache" -state-dir "$STATE" -drain-timeout 10s >"$RLOG2" 2>&1 &
+  PID=$!
+  wait_healthy "$RLOG2"
+  grep -q "journal replay" "$RLOG2" || { echo "serve-smoke: restart did not replay the journal" >&2; cat "$RLOG2" >&2; exit 1; }
+
+  # The SAME job id is back — no resubmission — and its event stream
+  # opens with the recovered marker.
+  curl -sf "$BASE/v1/studies/$RID" >/dev/null \
+    || { echo "serve-smoke: job $RID lost across the crash" >&2; cat "$RLOG2" >&2; exit 1; }
+  wait_state "$RID" done 600 "$RLOG2"
+  curl -sf --max-time 30 "$BASE/v1/studies/$RID/events" | head -n 1 \
+    | jq -e '.kind == "recovered"' >/dev/null \
+    || { echo "serve-smoke: no recovered event on $RID" >&2; exit 1; }
+  curl -sf "$BASE/v1/studies/$RID" | jq -e '.state == "done" and .result.totalEvals > 0' >/dev/null \
+    || { echo "serve-smoke: recovered job has no result" >&2; exit 1; }
+  curl -sf "$BASE/metrics" | grep -qF 'adcsynd_jobs_total{event="recovered"} 1' \
+    || { echo "serve-smoke: recovered counter missing" >&2; exit 1; }
+
+  sigterm_drain "$PID" "$RLOG2"
+  PID=""
+  echo "serve-smoke: recovery leg ok (study $RID survived kill -9)"
+}
+
+case "$LEG" in
+all) main_leg; recover_leg ;;
+main) main_leg ;;
+recover) recover_leg ;;
+*) echo "serve-smoke: unknown SMOKE_LEG=$LEG (want all, main, or recover)" >&2; exit 2 ;;
+esac
+echo "serve-smoke: ok"
