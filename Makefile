@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench bench-figures serve-smoke recover-smoke persist ci
+.PHONY: build test vet race bench benchdiff bench-figures serve-smoke recover-smoke persist ci
 
 build:
 	$(GO) build ./...
@@ -38,17 +38,25 @@ recover-smoke:
 persist:
 	$(GO) test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' ./internal/service ./internal/synth
 
-# Kernel/evaluator benchmark lane: the la factor/solve kernels, the
-# compiled transfer-function evaluator, the sim analyses, and the
-# end-to-end MDAC operating-point/settling/AC benchmarks, recorded as
-# go-test JSON events in BENCH_kernels.json for before/after comparison.
+# Kernel/evaluator benchmark lane: the la factor/solve kernels (dense,
+# sparse, and ordered), the compiled transfer-function evaluator, the
+# sim analyses, the batched hybrid evaluator, and the end-to-end MDAC
+# operating-point/settling/AC benchmarks, recorded as go-test JSON
+# events in BENCH_kernels.json for before/after comparison.
 bench:
 	$(GO) test -json -bench=. -benchmem -run='^$$' \
-		./internal/la ./internal/expr ./internal/sim > BENCH_kernels.json
-	$(GO) test -json -bench='^Benchmark(OP|TranSettle|ACSweep)$$' -benchmem -run='^$$' . \
+		./internal/la ./internal/expr ./internal/sim ./internal/hybrid > BENCH_kernels.json
+	$(GO) test -json -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep)$$' -benchmem -run='^$$' . \
 		>> BENCH_kernels.json
 	@grep -F 'ns/op' BENCH_kernels.json \
 		| sed -E 's/.*"Test":"([^"]*)".*"Output":"(\1)? *([^"]*)\\n"\}/\1\t\3/; s/\\t/   /g'
+
+# Advisory perf gate: rerun the benchmark set and compare against the
+# committed BENCH_kernels.json, warning on >10% ns/op regressions.
+# Always exits 0 (shared CI boxes are noisy); BENCHDIFF_STRICT=1 makes
+# regressions fatal for local use.
+benchdiff:
+	./scripts/benchdiff.sh
 
 # Paper-figure benchmarks (root package only, human-readable).
 bench-figures:

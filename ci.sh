@@ -23,8 +23,13 @@ go test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' 
 # rerun → /metrics → SIGTERM drain, then the kill -9 crash-recovery leg
 # (same -state-dir restart must finish the interrupted study).
 ./scripts/serve_smoke.sh
+# Sparse-solver lane: the sparse/dense bit-exactness, symbolic-coverage,
+# modified-Newton determinism, and batched-evaluation equivalence tests
+# under the race detector — the correctness contract of the fast path.
+go test -race -run 'MatchesDense|SymbolicCovers|NewtonReuse|BitIdentical|Batch' \
+    ./internal/la ./internal/sim ./internal/hybrid ./internal/synth
 # Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
 # so perf-path regressions (panics, singular matrices) surface in CI
 # without paying for a full measurement run.
-go test -bench=. -benchtime=1x -run='^$' ./internal/la ./internal/expr ./internal/sim
-go test -bench='^Benchmark(OP|TranSettle|ACSweep)$' -benchtime=1x -run='^$' .
+go test -bench=. -benchtime=1x -run='^$' ./internal/la ./internal/expr ./internal/sim ./internal/hybrid
+go test -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep)$' -benchtime=1x -run='^$' .

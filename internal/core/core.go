@@ -198,7 +198,7 @@ func StudyKey(opts Options) string {
 	opts.fillDefaults()
 	opts.Constraints.FillDefaults()
 	s := opts.Synth.Canonical()
-	blob, err := json.Marshal(struct {
+	type keyFields struct {
 		Bits                         int
 		SampleRate, VRef             float64
 		Process                      string
@@ -210,10 +210,19 @@ func StudyKey(opts Options) string {
 		Restarts                     int
 		InitTemp, CoolRate, PenaltyW float64
 		Topology                     int
-	}{opts.Bits, opts.SampleRate, opts.VRef, opts.Process.Name, int(opts.Mode),
+		// BatchEval alters the annealing trajectory only when >1; keys
+		// minted before the knob existed must stay valid, so it is
+		// omitted at its default (mirrors synth.CacheKey).
+		BatchEval int `json:",omitempty"`
+	}
+	kf := keyFields{opts.Bits, opts.SampleRate, opts.VRef, opts.Process.Name, int(opts.Mode),
 		opts.Constraints, opts.Retarget, opts.IncludeSHA,
 		s.Seed, s.MaxEvals, s.PatternIter, s.Restarts,
-		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology)})
+		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology), 0}
+	if s.BatchEval > 1 {
+		kf.BatchEval = s.BatchEval
+	}
+	blob, err := json.Marshal(kf)
 	if err != nil {
 		// Value fields only; Marshal cannot fail. Loud beats silent.
 		panic(fmt.Sprintf("core: study key marshal: %v", err))

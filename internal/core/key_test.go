@@ -44,12 +44,21 @@ func TestStudyKeyIgnoresExecutionKnobs(t *testing.T) {
 		t.Fatalf("default normalization broken: %q vs %q", got, key)
 	}
 
+	// BatchEval 0 and 1 both mean serial annealing: journaled study
+	// addresses from before the knob existed must stay reachable.
+	serial := base
+	serial.Synth.BatchEval = 1
+	if got := StudyKey(serial); got != key {
+		t.Fatalf("Synth.BatchEval=1 changed the key: %q vs %q", got, key)
+	}
+
 	for name, mut := range map[string]func(*Options){
-		"bits": func(o *Options) { o.Bits = 13 },
-		"rate": func(o *Options) { o.SampleRate = 80e6 },
-		"seed": func(o *Options) { o.Synth.Seed = 8 },
-		"mode": func(o *Options) { o.Mode = 2 },
-		"sha":  func(o *Options) { o.IncludeSHA = true },
+		"bits":  func(o *Options) { o.Bits = 13 },
+		"rate":  func(o *Options) { o.SampleRate = 80e6 },
+		"seed":  func(o *Options) { o.Synth.Seed = 8 },
+		"mode":  func(o *Options) { o.Mode = 2 },
+		"sha":   func(o *Options) { o.IncludeSHA = true },
+		"batch": func(o *Options) { o.Synth.BatchEval = 8 },
 	} {
 		changed := base
 		mut(&changed)

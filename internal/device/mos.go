@@ -106,7 +106,15 @@ type OP struct {
 
 // Eval computes the operating point at the given terminal voltages
 // (drain, gate, source, bulk, all referred to ground).
-func (p MOSParams) Eval(vd, vg, vs, vb float64) OP {
+func (p *MOSParams) Eval(vd, vg, vs, vb float64) OP {
+	var op OP
+	p.EvalInto(&op, vd, vg, vs, vb)
+	return op
+}
+
+// EvalInto is Eval writing into a caller-provided OP, avoiding the
+// struct-return copy on the per-Newton-iteration stamp path.
+func (p *MOSParams) EvalInto(op *OP, vd, vg, vs, vb float64) {
 	pol := 1.0
 	if p.PMOS {
 		pol = -1
@@ -115,7 +123,6 @@ func (p MOSParams) Eval(vd, vg, vs, vb float64) OP {
 	vgs := pol * (vg - vs)
 	vds := pol * (vd - vs)
 	vbs := pol * (vb - vs)
-	var op OP
 	reverse := vds < 0
 	if reverse {
 		// Swap source and drain: the device is symmetric.
@@ -133,13 +140,12 @@ func (p MOSParams) Eval(vd, vg, vs, vb float64) OP {
 	op.VGS = vgs
 	op.VDS = vds
 	op.VOV = vgs - vth
-	p.caps(&op)
-	return op
+	p.caps(op)
 }
 
 // evalForward evaluates the square-law equations for vds ≥ 0, returning
 // the drain current and its three partial derivatives plus the threshold.
-func (p MOSParams) evalForward(vgs, vds, vbs float64) (id, gm, gds, gmb float64, region Region, vth float64) {
+func (p *MOSParams) evalForward(vgs, vds, vbs float64) (id, gm, gds, gmb float64, region Region, vth float64) {
 	// Body effect: vth = VTO + γ(√(φ−vbs) − √φ). Clamp the sqrt argument;
 	// the derivative is taken on the clamped branch which keeps Newton
 	// consistent.
@@ -191,7 +197,7 @@ func (p MOSParams) evalForward(vgs, vds, vbs float64) (id, gm, gds, gmb float64,
 // caps fills the terminal capacitances using the Meyer-style piecewise
 // model: channel capacitance splits 2/3-to-source in saturation and
 // half/half in triode, plus constant overlap and junction terms.
-func (p MOSParams) caps(op *OP) {
+func (p *MOSParams) caps(op *OP) {
 	cch := p.Cox * p.W * p.L
 	switch op.Region {
 	case Cutoff:

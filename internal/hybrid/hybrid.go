@@ -27,6 +27,7 @@ import (
 	"pipesyn/internal/dpi"
 	"pipesyn/internal/expr"
 	"pipesyn/internal/mdac"
+	"pipesyn/internal/netlist"
 	"pipesyn/internal/opamp"
 	"pipesyn/internal/pdk"
 	"pipesyn/internal/sim"
@@ -127,6 +128,57 @@ func (se *StageEvaluator) Evaluate(ctx context.Context, sizing opamp.Amp) (Metri
 	return Metrics{}, fmt.Errorf("hybrid: unknown mode %d", se.Mode)
 }
 
+// EvaluateBatch scores a population of sizing candidates in one call,
+// sharing a single warm simulation kernel (layout, sparsity analysis,
+// solver workspaces) across all of them. Candidates are evaluated in
+// index order and every result is bitwise identical to calling Evaluate
+// on the same sizing, so callers may switch between the two paths
+// without perturbing a deterministic synthesis run.
+//
+// The returned slices are index-aligned with sizings: errs[i] is nil
+// exactly when metrics[i] is valid. Cancellation is checked between
+// candidates; once ctx is done the remaining entries carry ctx.Err().
+func (se *StageEvaluator) EvaluateBatch(ctx context.Context, sizings []opamp.Amp) ([]Metrics, []error) {
+	metrics := make([]Metrics, len(sizings))
+	errs := make([]error, len(sizings))
+	if se.Mode != EquationOnly && len(sizings) > 1 {
+		holds := make([]*netlist.Circuit, len(sizings))
+		var buildErr error
+		for i, sz := range sizings {
+			st := mdac.Stage{Spec: se.Spec, Sizing: sz, Process: se.Process}
+			holds[i], buildErr = st.HoldCircuit()
+			if buildErr != nil {
+				break
+			}
+		}
+		if buildErr == nil {
+			bt, err := sim.NewBatch(holds)
+			if err == nil {
+				for i, sz := range sizings {
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					st := mdac.Stage{Spec: se.Spec, Sizing: sz, Process: se.Process}
+					metrics[i], errs[i] = se.evaluateHold(ctx, st, holds[i], batchSolver{bt: bt, idx: i})
+				}
+				return metrics, errs
+			}
+		}
+		// Hold construction or batch binding failed (e.g. a candidate
+		// changed the topology): fall through to the serial path, which
+		// reports per-candidate errors with full context.
+	}
+	for i := range sizings {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		metrics[i], errs[i] = se.Evaluate(ctx, sizings[i])
+	}
+	return metrics, errs
+}
+
 // compileLoopTF builds and caches the symbolic loop transfer function
 // from the candidate's topology. The cin placeholder value is irrelevant:
 // only the element's existence shapes the topology, and Env re-binds its
@@ -198,19 +250,61 @@ func evaluateEquations(st mdac.Stage) (Metrics, error) {
 	return m, nil
 }
 
+// holdSolver abstracts how the closed-loop hold circuit's DC and
+// transient legs are solved: standalone sim calls, or a warm sim.Batch
+// kernel shared across a candidate population. Both produce bit-identical
+// results, so the evaluation metrics do not depend on the path taken.
+type holdSolver interface {
+	op(hold *netlist.Circuit, opts sim.DCOpts) (*sim.DCResult, error)
+	tran(hold *netlist.Circuit, opts sim.TranOpts) (*sim.TranResult, error)
+}
+
+// standaloneSolver compiles the circuit on every call (the historical
+// single-candidate path).
+type standaloneSolver struct{}
+
+func (standaloneSolver) op(hold *netlist.Circuit, opts sim.DCOpts) (*sim.DCResult, error) {
+	return sim.OP(hold, opts)
+}
+
+func (standaloneSolver) tran(hold *netlist.Circuit, opts sim.TranOpts) (*sim.TranResult, error) {
+	return sim.Tran(hold, opts)
+}
+
+// batchSolver routes the hold-circuit legs of candidate idx through a
+// shared warm kernel.
+type batchSolver struct {
+	bt  *sim.Batch
+	idx int
+}
+
+func (bs batchSolver) op(_ *netlist.Circuit, opts sim.DCOpts) (*sim.DCResult, error) {
+	return bs.bt.OP(bs.idx, opts)
+}
+
+func (bs batchSolver) tran(_ *netlist.Circuit, opts sim.TranOpts) (*sim.TranResult, error) {
+	return bs.bt.Tran(bs.idx, opts)
+}
+
 // evaluateWithSim shares the DC + transient legs between Hybrid and
 // SimOnly; they differ in how the loop transfer function is obtained.
 func (se *StageEvaluator) evaluateWithSim(ctx context.Context, st mdac.Stage) (Metrics, error) {
+	hold, err := st.HoldCircuit()
+	if err != nil {
+		return Metrics{Mode: se.Mode}, err
+	}
+	return se.evaluateHold(ctx, st, hold, standaloneSolver{})
+}
+
+// evaluateHold runs the three evaluation legs against an already-built
+// hold circuit, solving the DC and transient legs through sv.
+func (se *StageEvaluator) evaluateHold(ctx context.Context, st mdac.Stage, hold *netlist.Circuit, sv holdSolver) (Metrics, error) {
 	mode := se.Mode
 	m := Metrics{Mode: mode}
 	sp := st.Spec
 
-	hold, err := st.HoldCircuit()
-	if err != nil {
-		return m, err
-	}
 	tDC := time.Now()
-	op, err := sim.OP(hold, sim.DCOpts{})
+	op, err := sv.op(hold, sim.DCOpts{})
 	if err != nil {
 		return m, fmt.Errorf("hybrid: closed-loop OP: %w", err)
 	}
@@ -295,7 +389,7 @@ func (se *StageEvaluator) evaluateWithSim(ctx context.Context, st mdac.Stage) (M
 	tStop := mdac.StepDelay + 1.5*window
 	tStep := window / 400
 	tTran := time.Now()
-	tr, err := sim.Tran(hold, sim.TranOpts{TStop: tStop, TStep: tStep})
+	tr, err := sv.tran(hold, sim.TranOpts{TStop: tStop, TStep: tStep})
 	if err != nil {
 		return m, fmt.Errorf("hybrid: transient: %w", err)
 	}

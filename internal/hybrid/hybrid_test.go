@@ -15,7 +15,7 @@ import (
 
 // relaxedStage returns a late-pipeline stage whose initial sizing is
 // likely near-feasible, for fast integration tests.
-func relaxedStage(t *testing.T) mdac.Stage {
+func relaxedStage(t testing.TB) mdac.Stage {
 	t.Helper()
 	adc := stagespec.ADCSpec{Bits: 10, SampleRate: 40e6, VRef: 1}
 	specs, err := stagespec.Translate(adc, enum.Config{3, 2, 2, 2, 2})
@@ -191,4 +191,69 @@ func synthTran() *sim.TranResult {
 		tr.V["out"] = append(tr.V["out"], v)
 	}
 	return tr
+}
+
+// TestEvaluateBatchMatchesSerial: the batched evaluator is a pure
+// throughput optimization — every metric must be bitwise identical to
+// the serial Evaluate path for the same sizing.
+func TestEvaluateBatchMatchesSerial(t *testing.T) {
+	st := relaxedStage(t)
+	se := NewStageEvaluator(st.Spec, st.Process, Hybrid)
+	base := st.Sizing.Vector()
+	sizings := make([]opamp.Amp, 4)
+	for i := range sizings {
+		v := append([]float64(nil), base...)
+		for j := range v {
+			v[j] *= 1 + 0.05*float64(i)*float64(j%3)
+		}
+		sz, err := st.Sizing.WithVector(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizings[i] = sz.Bound(st.Process)
+	}
+	batchM, batchE := se.EvaluateBatch(context.Background(), sizings)
+	// Fresh evaluator for the serial pass so the TF cache state matches.
+	se2 := NewStageEvaluator(st.Spec, st.Process, Hybrid)
+	for i, sz := range sizings {
+		serial, err := se2.Evaluate(context.Background(), sz)
+		if batchE[i] != nil || err != nil {
+			if (batchE[i] == nil) != (err == nil) {
+				t.Fatalf("cand %d: batch err %v, serial err %v", i, batchE[i], err)
+			}
+			continue
+		}
+		b := batchM[i]
+		pairs := [][2]float64{
+			{b.Power, serial.Power}, {b.LoopGain0, serial.LoopGain0},
+			{b.AmpGain, serial.AmpGain}, {b.CrossoverHz, serial.CrossoverHz},
+			{b.PhaseMargin, serial.PhaseMargin}, {b.StaticError, serial.StaticError},
+			{b.SettleTime, serial.SettleTime},
+			{b.SwingLo, serial.SwingLo}, {b.SwingHi, serial.SwingHi},
+		}
+		for k, p := range pairs {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("cand %d metric %d: batch %.17g vs serial %.17g", i, k, p[0], p[1])
+			}
+		}
+		if b.Settled != serial.Settled || b.AllSaturated != serial.AllSaturated {
+			t.Fatalf("cand %d: boolean metrics diverge", i)
+		}
+	}
+}
+
+// TestEvaluateBatchEquationMode: the batch entry point must work for the
+// equation-only evaluator too (plain serial loop underneath).
+func TestEvaluateBatchEquationMode(t *testing.T) {
+	st := relaxedStage(t)
+	se := NewStageEvaluator(st.Spec, st.Process, EquationOnly)
+	ms, errs := se.EvaluateBatch(context.Background(), []opamp.Amp{st.Sizing, st.Sizing})
+	for i := range ms {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if ms[i].Power <= 0 {
+			t.Fatalf("cand %d: power %g", i, ms[i].Power)
+		}
+	}
 }

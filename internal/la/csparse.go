@@ -1,0 +1,381 @@
+package la
+
+import (
+	"fmt"
+	"math/bits"
+	"math/cmplx"
+)
+
+// CSparseLU is the complex analogue of SparseLU for the AC and noise
+// sweeps, which refactor (G + jωC) at every frequency point on a fixed
+// pattern. Only the partial-pivot (Analyze) mode is supported: the
+// static-order mode exists for the real Newton path, and the sweeps keep
+// dynamic pivoting because ω rescales the entries at every point. As
+// with SparseLU, results are bit-identical to CLU on matrices whose
+// nonzeros lie inside the analyzed pattern.
+type CSparseLU struct {
+	sym    *Symbolic
+	lu     *CMatrix
+	piv    []int
+	signs  int
+	rowPat []uint64
+	colPat []uint64
+	lPat   []uint64
+	ucols  []int32
+}
+
+// NewCSparseLU returns a complex factorization workspace for sym, which
+// must come from Analyze (not AnalyzeOrdered). All storage is allocated
+// here, so NumericFactor and SolveInto never allocate.
+func NewCSparseLU(sym *Symbolic) *CSparseLU {
+	if sym.ordered {
+		panic("la: CSparseLU requires a partial-pivot (Analyze) symbolic analysis")
+	}
+	n := sym.n
+	return &CSparseLU{
+		sym:    sym,
+		lu:     NewCMatrix(n, n),
+		piv:    make([]int, n),
+		rowPat: make([]uint64, len(sym.initPat)),
+		colPat: make([]uint64, len(sym.initPat)),
+		lPat:   make([]uint64, len(sym.initPat)),
+		ucols:  make([]int32, 0, n),
+	}
+}
+
+// Symbolic returns the analysis this workspace factors against.
+func (f *CSparseLU) Symbolic() *Symbolic { return f.sym }
+
+// NumericFactor refactors a — whose nonzeros must lie inside the
+// analyzed pattern — reusing the workspace. The result is bit-identical
+// to CLU.FactorInto on the same matrix. a is not modified.
+func (f *CSparseLU) NumericFactor(a *CMatrix) error {
+	s := f.sym
+	n := s.n
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("la: NumericFactor size mismatch: analysis %d, matrix %d×%d", n, a.Rows, a.Cols)
+	}
+	if s.words == 1 {
+		return f.factorW1(a)
+	}
+	lu := f.lu
+	copy(lu.Data, a.Data)
+	w := s.words
+	rowPat := f.rowPat
+	copy(rowPat, s.initPat)
+	colPat := f.colPat
+	copy(colPat, s.initColPat)
+	lPat := f.lPat
+	for i := range lPat {
+		lPat[i] = 0
+	}
+	piv := f.piv
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	maxAbs := 0.0
+	data := lu.Data
+	for _, idx := range s.nnzIdx {
+		if av := cmplx.Abs(data[idx]); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := maxAbs * 1e-300
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for k := 0; k < n; k++ {
+		// Candidate rows for both the pivot scan and the update loop
+		// come from the column-k transpose pattern; see the real-valued
+		// NumericFactor for the invariant maintenance argument.
+		p := k
+		pm := cmplx.Abs(data[k*n+k])
+		ck := colPat[k*w : (k+1)*w]
+		startW := (k + 1) >> 6
+		bmask := ^uint64(0) << uint((k+1)&63)
+		for wi := startW; wi < w; wi++ {
+			word := ck[wi]
+			if wi == startW {
+				word &= bmask
+			}
+			for ; word != 0; word &= word - 1 {
+				i := wi<<6 | bits.TrailingZeros64(word)
+				if av := cmplx.Abs(data[i*n+k]); av > pm {
+					pm, p = av, i
+				}
+			}
+		}
+		if pm <= tol {
+			return ErrSingular
+		}
+		if p != k {
+			ri, rk := data[p*n:(p+1)*n], data[k*n:(k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			pi, pk := rowPat[p*w:(p+1)*w], rowPat[k*w:(k+1)*w]
+			for j := range pi {
+				pi[j], pk[j] = pk[j], pi[j]
+			}
+			li, lk := lPat[p*w:(p+1)*w], lPat[k*w:(k+1)*w]
+			for j := range li {
+				li[j], lk[j] = lk[j], li[j]
+			}
+			kw, kb := k>>6, uint64(1)<<uint(k&63)
+			pw2, pb := p>>6, uint64(1)<<uint(p&63)
+			sw := k >> 6
+			smask := ^uint64(0) << uint(k&63)
+			for wi := sw; wi < w; wi++ {
+				union := pi[wi] | pk[wi]
+				if wi == sw {
+					union &= smask
+				}
+				for ; union != 0; union &= union - 1 {
+					j := wi<<6 | bits.TrailingZeros64(union)
+					cw := colPat[j*w:]
+					if (cw[kw]>>uint(k&63))&1 != (cw[pw2]>>uint(p&63))&1 {
+						cw[kw] ^= kb
+						cw[pw2] ^= pb
+					}
+				}
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		inv := 1 / data[k*n+k]
+		rowK := data[k*n : (k+1)*n]
+		patK := rowPat[k*w : (k+1)*w]
+		uc := f.ucols[:0]
+		for wi := startW; wi < w; wi++ {
+			word := patK[wi]
+			if wi == startW {
+				word &= bmask
+			}
+			for ; word != 0; word &= word - 1 {
+				uc = append(uc, int32(wi<<6|bits.TrailingZeros64(word)))
+			}
+		}
+		for wi := startW; wi < w; wi++ {
+			word := ck[wi]
+			if wi == startW {
+				word &= bmask
+			}
+			for ; word != 0; word &= word - 1 {
+				i := wi<<6 | bits.TrailingZeros64(word)
+				l := data[i*n+k] * inv
+				data[i*n+k] = l
+				if l == 0 {
+					continue
+				}
+				lPat[i*w+(k>>6)] |= 1 << uint(k&63)
+				rowI := data[i*n : (i+1)*n]
+				for _, j := range uc {
+					rowI[j] -= l * rowK[j]
+				}
+				patI := rowPat[i*w : (i+1)*w]
+				iw, ib := i>>6, uint64(1)<<uint(i&63)
+				for wi2 := 0; wi2 < startW; wi2++ {
+					patI[wi2] |= patK[wi2]
+				}
+				for wi2 := startW; wi2 < w; wi2++ {
+					nb := patK[wi2] &^ patI[wi2]
+					if wi2 == startW {
+						nb &= bmask
+					}
+					patI[wi2] |= patK[wi2]
+					for ; nb != 0; nb &= nb - 1 {
+						j := wi2<<6 | bits.TrailingZeros64(nb)
+						colPat[j*w+iw] |= ib
+					}
+				}
+			}
+		}
+	}
+	f.signs = sign
+	return nil
+}
+
+// factorW1 is the single-word (n ≤ 64) specialization, the complex
+// mirror of SparseLU.factorW1.
+func (f *CSparseLU) factorW1(a *CMatrix) error {
+	s := f.sym
+	n := s.n
+	lu := f.lu
+	copy(lu.Data, a.Data)
+	rowPat := f.rowPat
+	copy(rowPat, s.initPat)
+	colPat := f.colPat
+	copy(colPat, s.initColPat)
+	lPat := f.lPat
+	for i := range lPat {
+		lPat[i] = 0
+	}
+	piv := f.piv
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	maxAbs := 0.0
+	data := lu.Data
+	for _, idx := range s.nnzIdx {
+		if av := cmplx.Abs(data[idx]); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := maxAbs * 1e-300
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for k := 0; k < n; k++ {
+		kbit := uint64(1) << uint(k)
+		above := ^uint64(0) << uint(k+1)
+		p := k
+		pm := cmplx.Abs(data[k*n+k])
+		for word := colPat[k] & above; word != 0; word &= word - 1 {
+			i := bits.TrailingZeros64(word)
+			if av := cmplx.Abs(data[i*n+k]); av > pm {
+				pm, p = av, i
+			}
+		}
+		if pm <= tol {
+			return ErrSingular
+		}
+		if p != k {
+			ri, rk := data[p*n:(p+1)*n], data[k*n:(k+1)*n]
+			for j := 0; j < n; j++ {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			rowPat[k], rowPat[p] = rowPat[p], rowPat[k]
+			lPat[k], lPat[p] = lPat[p], lPat[k]
+			pbit := uint64(1) << uint(p)
+			for union := (rowPat[k] | rowPat[p]) & (^uint64(0) << uint(k)); union != 0; union &= union - 1 {
+				j := bits.TrailingZeros64(union)
+				cw := colPat[j]
+				if (cw>>uint(k))&1 != (cw>>uint(p))&1 {
+					colPat[j] = cw ^ (kbit | pbit)
+				}
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		inv := 1 / data[k*n+k]
+		rowK := data[k*n : (k+1)*n]
+		patK := rowPat[k]
+		uc := f.ucols[:0]
+		for word := patK & above; word != 0; word &= word - 1 {
+			uc = append(uc, int32(bits.TrailingZeros64(word)))
+		}
+		for word := colPat[k] & above; word != 0; word &= word - 1 {
+			i := bits.TrailingZeros64(word)
+			l := data[i*n+k] * inv
+			data[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			lPat[i] |= kbit
+			rowI := data[i*n : (i+1)*n]
+			for _, j := range uc {
+				rowI[j] -= l * rowK[j]
+			}
+			ibit := uint64(1) << uint(i)
+			for nb := (patK &^ rowPat[i]) & above; nb != 0; nb &= nb - 1 {
+				colPat[bits.TrailingZeros64(nb)] |= ibit
+			}
+			rowPat[i] |= patK
+		}
+	}
+	f.signs = sign
+	return nil
+}
+
+// solveW1 is the single-word specialization of the solve.
+func (f *CSparseLU) solveW1(x, b []complex128) {
+	n := f.sym.n
+	data := f.lu.Data
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := data[i*n : (i+1)*n]
+		acc := x[i]
+		for word := f.lPat[i]; word != 0; word &= word - 1 {
+			k := bits.TrailingZeros64(word)
+			acc -= row[k] * x[k]
+		}
+		x[i] = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := data[i*n : (i+1)*n]
+		acc := x[i]
+		for word := f.rowPat[i] & (^uint64(0) << uint(i+1)); word != 0; word &= word - 1 {
+			j := bits.TrailingZeros64(word)
+			acc -= row[j] * x[j]
+		}
+		x[i] = acc / row[i]
+	}
+}
+
+// Solve returns x with A·x = b.
+func (f *CSparseLU) Solve(b []complex128) []complex128 {
+	x := make([]complex128, f.sym.n)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto writes the solution of A·x = b into x without allocating.
+// x must not alias b; b is not modified.
+func (f *CSparseLU) SolveInto(x, b []complex128) {
+	s := f.sym
+	n := s.n
+	if len(b) != n || len(x) != n {
+		panic("la: Solve dimension mismatch")
+	}
+	data := f.lu.Data
+	if s.words == 1 {
+		f.solveW1(x, b)
+		return
+	}
+	w := s.words
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := data[i*n : (i+1)*n]
+		acc := x[i]
+		for wi, word := range f.lPat[i*w : (i+1)*w] {
+			for ; word != 0; word &= word - 1 {
+				k := wi<<6 | bits.TrailingZeros64(word)
+				acc -= row[k] * x[k]
+			}
+		}
+		x[i] = acc
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := data[i*n : (i+1)*n]
+		acc := x[i]
+		pw := f.rowPat[i*w : (i+1)*w]
+		startW := (i + 1) >> 6
+		for wi := startW; wi < w; wi++ {
+			word := pw[wi]
+			if wi == startW {
+				word &= ^uint64(0) << uint((i+1)&63)
+			}
+			for ; word != 0; word &= word - 1 {
+				j := wi<<6 | bits.TrailingZeros64(word)
+				acc -= row[j] * x[j]
+			}
+		}
+		x[i] = acc / row[i]
+	}
+}
+
+// Det returns det(A) from the factorization.
+func (f *CSparseLU) Det() complex128 {
+	d := complex(float64(f.signs), 0)
+	n := f.sym.n
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}

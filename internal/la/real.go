@@ -1,11 +1,14 @@
-// Package la provides the dense linear algebra used by the circuit
-// simulator: real and complex LU factorization with partial pivoting,
-// triangular solves, determinants, and a handful of vector helpers.
+// Package la provides the linear algebra used by the circuit simulator:
+// real and complex LU factorization with partial pivoting, triangular
+// solves, determinants, and a handful of vector helpers.
 //
 // Circuit matrices from modified nodal analysis are small (tens of rows)
-// and re-factored at every Newton iteration, so a cache-friendly dense
-// Doolittle LU is the right tool; no sparse machinery is needed at the
-// scale of the MDAC and op-amp circuits this project synthesizes.
+// but re-factored at every Newton iteration on a sparsity pattern that
+// never changes for a compiled circuit. Two paths share the dense
+// row-major storage: the plain dense Doolittle LU below, and the
+// structure-exploiting symbolic/numeric split in sparse.go, which
+// analyzes the pattern once and then skips the provably-zero update and
+// substitution work on every refactor.
 package la
 
 import (

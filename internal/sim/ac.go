@@ -111,15 +111,17 @@ type acEntry struct {
 // acSweep is the reusable (G + jωC) assembler shared by the AC and noise
 // sweeps. The complex matrix is seeded with complex(G, 0) once; setFreq
 // then rewrites only the sparse capacitive entries, so a sweep does no
-// per-frequency matrix assembly and (with CLU.FactorInto) no allocation.
+// per-frequency matrix assembly and no allocation. Refactoring at each
+// frequency point runs on the compiled circuit's symbolic analysis
+// (bit-identical to the dense complex LU).
 type acSweep struct {
 	a       *la.CMatrix
 	entries []acEntry
-	lu      la.CLU
+	lu      *la.CSparseLU
 }
 
-func newACSweep(g, cap *la.Matrix) *acSweep {
-	s := &acSweep{a: la.NewCMatrix(g.Rows, g.Cols)}
+func newACSweep(cc *compiled, g, cap *la.Matrix) *acSweep {
+	s := &acSweep{a: la.NewCMatrix(g.Rows, g.Cols), lu: la.NewCSparseLU(cc.sym)}
 	for i, gv := range g.Data {
 		s.a.Data[i] = complex(gv, 0)
 	}
@@ -141,15 +143,20 @@ func (s *acSweep) setFreq(omega float64) {
 
 // AC performs a small-signal sweep about the operating point op.
 func AC(c *netlist.Circuit, op *DCResult, opts ACOpts) (*ACResult, error) {
+	cc, err := compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return acCompiled(cc, op, opts)
+}
+
+// acCompiled is AC on an already-compiled circuit (shared with Batch).
+func acCompiled(cc *compiled, op *DCResult, opts ACOpts) (*ACResult, error) {
 	if opts.FStart <= 0 || opts.FStop <= opts.FStart {
 		return nil, fmt.Errorf("sim: bad AC range [%g, %g]", opts.FStart, opts.FStop)
 	}
 	if opts.PointsPerDecade <= 0 {
 		opts.PointsPerDecade = 20
-	}
-	cc, err := compile(c)
-	if err != nil {
-		return nil, err
 	}
 	l := cc.layout
 	n := l.Size
@@ -186,13 +193,13 @@ func AC(c *netlist.Circuit, op *DCResult, opts ACOpts) (*ACResult, error) {
 	for name := range l.NodeIndex {
 		res.V[name] = make([]complex128, nPts)
 	}
-	sys := newACSweep(g, cap)
+	sys := newACSweep(cc, g, cap)
 	x := make([]complex128, n)
 	for k := 0; k < nPts; k++ {
 		f := opts.FStart * math.Pow(10, decades*float64(k)/float64(nPts-1))
 		res.Freqs = append(res.Freqs, f)
 		sys.setFreq(2 * math.Pi * f)
-		if err := sys.lu.FactorInto(sys.a); err != nil {
+		if err := sys.lu.NumericFactor(sys.a); err != nil {
 			return nil, fmt.Errorf("sim: AC solve failed at %g Hz: %w", f, err)
 		}
 		sys.lu.SolveInto(x, b)

@@ -1,0 +1,157 @@
+// batch.go runs B candidate sizings of one topology through a single
+// warm kernel. The expensive per-circuit work — node layout, sparsity
+// analysis, symbolic factorization, solver workspaces — depends only on
+// the structure (element names, types, connectivity), which all batch
+// members share. Each candidate keeps its own packed parameter state
+// (device params, capacitor values, source waveforms, assembled constant
+// stamp), and selecting a candidate is a handful of pointer swaps.
+package sim
+
+import (
+	"fmt"
+
+	"pipesyn/internal/device"
+	"pipesyn/internal/la"
+	"pipesyn/internal/netlist"
+)
+
+// batchCand is one candidate's value state, laid out as parallel arrays
+// aligned with the shared kernel's element views (structure-of-arrays
+// across the batch: candidate i's parameters live in cands[i], indexed
+// identically for every i).
+type batchCand struct {
+	circuit *netlist.Circuit
+	views   kernelViews
+	mos     map[string]device.MOSParams
+	sw      map[string]device.SwitchParams
+	phaseG  map[int]*la.Matrix
+}
+
+// Batch evaluates structurally identical candidate circuits on one
+// shared compiled kernel. Construct with NewBatch; the candidate index
+// passed to OP/Tran/AC selects which sizing the kernel solves.
+//
+// A Batch is not safe for concurrent use: the candidates share scratch
+// workspaces by design.
+type Batch struct {
+	cc    *compiled
+	cands []batchCand
+	cur   int
+}
+
+// NewBatch compiles the first circuit and binds the remaining ones as
+// candidates of the same topology. Every circuit must agree with the
+// first in element count, names, types, and node connectivity; values
+// (R/C, device geometry, model cards, source levels) are free to differ.
+func NewBatch(circuits []*netlist.Circuit) (*Batch, error) {
+	if len(circuits) == 0 {
+		return nil, fmt.Errorf("sim: empty batch")
+	}
+	cc, err := compile(circuits[0])
+	if err != nil {
+		return nil, err
+	}
+	bt := &Batch{cc: cc, cands: make([]batchCand, len(circuits)), cur: 0}
+	if cc.phaseG == nil {
+		cc.phaseG = map[int]*la.Matrix{}
+	}
+	bt.cands[0] = batchCand{
+		circuit: circuits[0],
+		views: kernelViews{
+			mosElems: cc.mosElems, capElems: cc.capElems,
+			swElems: cc.swElems, srcElems: cc.srcElems,
+			constG: cc.constG,
+		},
+		mos: cc.mos, sw: cc.switches, phaseG: cc.phaseG,
+	}
+	for i := 1; i < len(circuits); i++ {
+		c := circuits[i]
+		if err := sameStructure(circuits[0], c); err != nil {
+			return nil, fmt.Errorf("sim: batch candidate %d: %w", i, err)
+		}
+		mos, sw, err := resolveDevices(c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch candidate %d: %w", i, err)
+		}
+		bt.cands[i] = batchCand{
+			circuit: c,
+			views:   buildViews(c, cc.layout, mos, sw),
+			mos:     mos, sw: sw,
+			phaseG: map[int]*la.Matrix{},
+		}
+	}
+	return bt, nil
+}
+
+// sameStructure checks that two circuits share a topology: identical
+// element sequence by name, type, and node connectivity. Model and value
+// differences are allowed — they are exactly what a batch varies.
+func sameStructure(ref, c *netlist.Circuit) error {
+	if len(ref.Elements) != len(c.Elements) {
+		return fmt.Errorf("element count %d differs from reference %d", len(c.Elements), len(ref.Elements))
+	}
+	for i, e := range c.Elements {
+		r := ref.Elements[i]
+		if e.Name != r.Name || e.Type != r.Type {
+			return fmt.Errorf("element %d is %s(%v), reference has %s(%v)", i, e.Name, e.Type, r.Name, r.Type)
+		}
+		if len(e.Nodes) != len(r.Nodes) {
+			return fmt.Errorf("element %s connects %d nodes, reference %d", e.Name, len(e.Nodes), len(r.Nodes))
+		}
+		for j, n := range e.Nodes {
+			if n != r.Nodes[j] {
+				return fmt.Errorf("element %s node %d is %q, reference %q", e.Name, j, n, r.Nodes[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of candidates in the batch.
+func (bt *Batch) Len() int { return len(bt.cands) }
+
+// load installs candidate i's value state into the shared kernel.
+func (bt *Batch) load(i int) error {
+	if i < 0 || i >= len(bt.cands) {
+		return fmt.Errorf("sim: batch index %d out of range [0,%d)", i, len(bt.cands))
+	}
+	if i == bt.cur {
+		return nil
+	}
+	cand := &bt.cands[i]
+	cc := bt.cc
+	cc.circuit = cand.circuit
+	cc.mos = cand.mos
+	cc.switches = cand.sw
+	cc.setViews(cand.views)
+	cc.phaseG = cand.phaseG
+	bt.cur = i
+	return nil
+}
+
+// OP solves candidate i's operating point on the warm kernel. The result
+// is bit-identical to sim.OP on the same circuit.
+func (bt *Batch) OP(i int, opts DCOpts) (*DCResult, error) {
+	if err := bt.load(i); err != nil {
+		return nil, err
+	}
+	return opCompiled(bt.cc, opts)
+}
+
+// Tran runs candidate i's transient on the warm kernel. The result is
+// bit-identical to sim.Tran on the same circuit.
+func (bt *Batch) Tran(i int, opts TranOpts) (*TranResult, error) {
+	if err := bt.load(i); err != nil {
+		return nil, err
+	}
+	return tranCompiled(bt.cc, opts)
+}
+
+// AC runs candidate i's small-signal sweep about the given operating
+// point. The result is bit-identical to sim.AC on the same circuit.
+func (bt *Batch) AC(i int, op *DCResult, opts ACOpts) (*ACResult, error) {
+	if err := bt.load(i); err != nil {
+		return nil, err
+	}
+	return acCompiled(bt.cc, op, opts)
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesyn/internal/netlist"
+)
+
+// batchVariant derives a sizing variant of reuseDeck by substituting
+// device geometry and capacitor values. Structure (names, types, nodes)
+// is untouched, which is the batch contract.
+func batchVariant(t *testing.T, i int) string {
+	t.Helper()
+	switch i {
+	case 0:
+		return reuseDeck
+	case 1:
+		s := strings.ReplaceAll(reuseDeck, "M1 x1 b tail 0 nch W=20u L=0.5u", "M1 x1 b tail 0 nch W=28u L=0.4u")
+		s = strings.ReplaceAll(s, "M2 x2 fb tail 0 nch W=20u L=0.5u", "M2 x2 fb tail 0 nch W=28u L=0.4u")
+		s = strings.ReplaceAll(s, "C1 a b 1p", "C1 a b 1.5p")
+		return s
+	case 2:
+		s := strings.ReplaceAll(reuseDeck, "M5 out x2 vdd vdd pch W=60u L=0.35u", "M5 out x2 vdd vdd pch W=90u L=0.3u")
+		s = strings.ReplaceAll(s, "CL out 0 1p", "CL out 0 2.2p")
+		s = strings.ReplaceAll(s, "IB vdd bn DC 20u", "IB vdd bn DC 35u")
+		return s
+	default:
+		t.Fatalf("no variant %d", i)
+		return ""
+	}
+}
+
+// TestBatchBitIdenticalToStandalone: every analysis through the batch
+// must reproduce the standalone single-circuit path to the bit, in any
+// evaluation order.
+func TestBatchBitIdenticalToStandalone(t *testing.T) {
+	decks := []string{batchVariant(t, 0), batchVariant(t, 1), batchVariant(t, 2)}
+	var circuits []*netlist.Circuit
+	for _, d := range decks {
+		circuits = append(circuits, parseDeck(t, d))
+	}
+	bt, err := NewBatch(circuits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tranOpts := TranOpts{
+		TStop: 4e-7, TStep: 2e-9,
+		ClockPeriod: 1e-7, NonOverlap: 2e-9,
+	}
+	acOpts := ACOpts{FStart: 1e3, FStop: 1e9, PointsPerDecade: 10}
+	// Deliberately out of order to catch state leaking between loads.
+	for _, i := range []int{2, 0, 1, 2, 1} {
+		refOP, err := OP(circuits[i], DCOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOP, err := bt.OP(i, DCOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, v := range refOP.V {
+			if math.Float64bits(gotOP.V[node]) != math.Float64bits(v) {
+				t.Fatalf("cand %d OP node %s: batch %.17g vs standalone %.17g", i, node, gotOP.V[node], v)
+			}
+		}
+		refTr, err := Tran(circuits[i], tranOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTr, err := bt.Tran(i, tranOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotTr.T) != len(refTr.T) {
+			t.Fatalf("cand %d: tran lengths differ", i)
+		}
+		for node, w := range refTr.V {
+			gw := gotTr.V[node]
+			for k := range w {
+				if math.Float64bits(gw[k]) != math.Float64bits(w[k]) {
+					t.Fatalf("cand %d tran node %s sample %d: batch %.17g vs standalone %.17g",
+						i, node, k, gw[k], w[k])
+				}
+			}
+		}
+		refAC, err := AC(circuits[i], refOP, acOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAC, err := bt.AC(i, gotOP, acOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, h := range refAC.V {
+			gh := gotAC.V[node]
+			for k := range h {
+				if h[k] != gh[k] {
+					t.Fatalf("cand %d AC node %s point %d: batch %v vs standalone %v", i, node, k, gh[k], h[k])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRejectsStructureMismatch: a candidate that renames, retypes,
+// or rewires an element must be rejected up front.
+func TestBatchRejectsStructureMismatch(t *testing.T) {
+	base := parseDeck(t, reuseDeck)
+	renamed := parseDeck(t, strings.Replace(reuseDeck, "CL out 0 1p", "CX out 0 1p", 1))
+	if _, err := NewBatch([]*netlist.Circuit{base, renamed}); err == nil {
+		t.Fatal("renamed element accepted into batch")
+	}
+	rewired := parseDeck(t, strings.Replace(reuseDeck, "CL out 0 1p", "CL out vdd 1p", 1))
+	if _, err := NewBatch([]*netlist.Circuit{base, rewired}); err == nil {
+		t.Fatal("rewired element accepted into batch")
+	}
+}
+
+// TestBatchIndexErrors: out-of-range candidate indices fail cleanly.
+func TestBatchIndexErrors(t *testing.T) {
+	bt, err := NewBatch([]*netlist.Circuit{parseDeck(t, reuseDeck)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.OP(1, DCOpts{}); err == nil {
+		t.Fatal("index 1 accepted on a 1-candidate batch")
+	}
+	if _, err := bt.Tran(-1, TranOpts{TStop: 1e-9, TStep: 1e-10}); err == nil {
+		t.Fatal("index -1 accepted")
+	}
+}

@@ -17,6 +17,12 @@ type DCOpts struct {
 	Gmin        float64 // floor conductance from every node to ground (default 1e-12)
 	VLimit      float64 // max Newton voltage step (default 0.5 V)
 	SwitchPhase int     // which clock phase is active for clocked switches (0 = none)
+	// NewtonReuse enables modified-Newton (Shamanskii) iteration: the
+	// Jacobian factorization is reused across iterations while the step
+	// norm contracts and refreshed on slow convergence, with a plain
+	// full-Newton retry if the damped loop fails to converge. Off (the
+	// default) the solver is bit-identical to the historical path.
+	NewtonReuse bool
 }
 
 func (o *DCOpts) defaults() {
@@ -80,11 +86,18 @@ func (r *DCResult) SupplyPower(c *netlist.Circuit) float64 {
 // flat start; on failure it walks a gmin-stepping ladder, then source
 // stepping, mirroring Berkeley SPICE's continuation strategy.
 func OP(c *netlist.Circuit, opts DCOpts) (*DCResult, error) {
-	opts.defaults()
 	cc, err := compile(c)
 	if err != nil {
 		return nil, err
 	}
+	return opCompiled(cc, opts)
+}
+
+// opCompiled is the compiled-circuit operating-point solver: Tran and
+// Batch enter here to reuse an existing compilation and its warm
+// workspaces instead of re-compiling the netlist.
+func opCompiled(cc *compiled, opts DCOpts) (*DCResult, error) {
+	opts.defaults()
 	x := make([]float64, cc.layout.Size)
 	totalIter := 0
 
@@ -169,11 +182,38 @@ func finishDC(cc *compiled, x []float64, iters int) *DCResult {
 func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]float64, int, error) {
 	ws := cc.dcWS()
 	ws.prepare(cc, gmin, srcScale, opts.SwitchPhase)
+	sol, n, err := newtonLoop(cc, ws, x0, opts, opts.NewtonReuse)
+	if err != nil && opts.NewtonReuse {
+		// Divergence fallback: retry with plain full Newton before the
+		// caller walks the continuation ladders.
+		if _, diverged := err.(*ConvergenceError); diverged {
+			sol2, n2, err2 := newtonLoop(cc, ws, x0, opts, false)
+			return sol2, n + n2, err2
+		}
+	}
+	return sol, n, err
+}
+
+func newtonLoop(cc *compiled, ws *dcWorkspace, x0 []float64, opts DCOpts, reuse bool) ([]float64, int, error) {
 	x := ws.x
 	copy(x, x0)
 	worstIdx, worstDelta := -1, 0.0
+	lastStep, prevStep := math.Inf(1), math.Inf(1)
+	reuseCount := 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		if err := ws.iterate(cc); err != nil {
+		var err error
+		if !reuse {
+			err = ws.iterate(cc)
+		} else {
+			refactor := iter == 1 || reuseCount >= 6 || lastStep > 0.5*prevStep
+			if refactor {
+				reuseCount = 0
+			} else {
+				reuseCount++
+			}
+			err = ws.iterateReuse(cc, refactor)
+		}
+		if err != nil {
 			return nil, iter, fmt.Errorf("sim: singular MNA matrix: %w", err)
 		}
 		xNew := ws.xNew
@@ -187,6 +227,7 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 			}
 		}
 		worstIdx, worstDelta = maxIdx, maxDelta
+		prevStep, lastStep = lastStep, maxDelta
 		alpha := 1.0
 		if maxDelta > opts.VLimit {
 			alpha = opts.VLimit / maxDelta

@@ -41,42 +41,132 @@ type srcElem struct {
 	br   int
 }
 
-// buildKernel populates the compiled circuit's element views and the
-// constant stamp. Called once from compile.
-func (cc *compiled) buildKernel() {
-	l := cc.layout
-	n := l.Size
-	cc.constG = la.NewMatrix(n, n)
-	for _, e := range cc.circuit.Elements {
+// kernelViews is the per-candidate half of the compiled kernel: the
+// element views with resolved MNA indices and device values, plus the
+// assembled constant stamp. Structure (indices, element order) is shared
+// across a Batch; the values inside are what distinguish candidates.
+type kernelViews struct {
+	mosElems []mosElem
+	capElems []capElem
+	swElems  []swElem
+	srcElems []srcElem
+	constG   *la.Matrix
+}
+
+// buildViews assembles the element views and constant stamp for a
+// circuit against a fixed layout. The single entry point keeps every
+// candidate's assembly order identical, so Batch results are
+// bit-identical to a standalone compile of the same circuit.
+func buildViews(c *netlist.Circuit, l *Layout,
+	mos map[string]device.MOSParams, switches map[string]device.SwitchParams) kernelViews {
+	var kv kernelViews
+	kv.constG = la.NewMatrix(l.Size, l.Size)
+	for _, e := range c.Elements {
 		switch e.Type {
 		case netlist.Resistor:
-			stampConductance(cc.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), 1/e.Value)
+			stampConductance(kv.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), 1/e.Value)
 		case netlist.Capacitor:
-			cc.capElems = append(cc.capElems, capElem{l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), e.Value})
+			kv.capElems = append(kv.capElems, capElem{l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), e.Value})
 		case netlist.Switch:
-			cc.swElems = append(cc.swElems, swElem{l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), cc.switches[e.Name]})
+			kv.swElems = append(kv.swElems, swElem{l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), switches[e.Name]})
 		case netlist.ISource:
-			cc.srcElems = append(cc.srcElems, srcElem{e.Src, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), -1})
+			kv.srcElems = append(kv.srcElems, srcElem{e.Src, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), -1})
 		case netlist.VSource:
 			br := l.BranchIndex[e.Name]
-			stampVoltageBranch(cc.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
-			cc.srcElems = append(cc.srcElems, srcElem{e.Src, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br})
+			stampVoltageBranch(kv.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
+			kv.srcElems = append(kv.srcElems, srcElem{e.Src, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br})
 		case netlist.VCVS:
 			br := l.BranchIndex[e.Name]
 			op, on := l.idx(e.Nodes[0]), l.idx(e.Nodes[1])
 			cp, cn := l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
-			stampVoltageBranch(cc.constG, op, on, br)
-			addA(cc.constG, br, cp, -e.Value)
-			addA(cc.constG, br, cn, +e.Value)
+			stampVoltageBranch(kv.constG, op, on, br)
+			addA(kv.constG, br, cp, -e.Value)
+			addA(kv.constG, br, cn, +e.Value)
 		case netlist.VCCS:
-			stampVCCS(cc.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]), e.Value)
+			stampVCCS(kv.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]), e.Value)
 		case netlist.MOS:
-			cc.mosElems = append(cc.mosElems, mosElem{
-				cc.mos[e.Name],
+			kv.mosElems = append(kv.mosElems, mosElem{
+				mos[e.Name],
 				l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]),
 			})
 		}
 	}
+	return kv
+}
+
+// setViews installs a candidate's views into the compiled kernel.
+func (cc *compiled) setViews(kv kernelViews) {
+	cc.mosElems = kv.mosElems
+	cc.capElems = kv.capElems
+	cc.swElems = kv.swElems
+	cc.srcElems = kv.srcElems
+	cc.constG = kv.constG
+}
+
+// buildKernel populates the compiled circuit's element views and the
+// constant stamp. Called once from compile.
+func (cc *compiled) buildKernel() {
+	cc.setViews(buildViews(cc.circuit, cc.layout, cc.mos, cc.switches))
+	cc.sym = la.Analyze(cc.buildPattern())
+}
+
+// buildPattern marks every matrix position any analysis can stamp for
+// this circuit: the constant stamps, switch conductances in every phase,
+// gmin shunts, the MOS companion entries, and the capacitive companions
+// (backward-Euler/trapezoidal in transient, jωC in AC). The pattern is
+// structural — derived from element incidence, never from assembled
+// values, so stamps that numerically cancel still count as live.
+func (cc *compiled) buildPattern() *la.Pattern {
+	l := cc.layout
+	p := la.NewPattern(l.Size)
+	markCond := func(a, b int) {
+		p.Mark(a, a)
+		p.Mark(b, b)
+		p.Mark(a, b)
+		p.Mark(b, a)
+	}
+	markVCCS := func(a, b, c, d int) {
+		p.Mark(a, c)
+		p.Mark(a, d)
+		p.Mark(b, c)
+		p.Mark(b, d)
+	}
+	markBranch := func(a, b, br int) {
+		p.Mark(br, a)
+		p.Mark(br, b)
+		p.Mark(a, br)
+		p.Mark(b, br)
+	}
+	for i := 0; i < len(l.Nodes); i++ {
+		p.Mark(i, i) // gmin shunt
+	}
+	for _, e := range cc.circuit.Elements {
+		switch e.Type {
+		case netlist.Resistor, netlist.Capacitor, netlist.Switch:
+			markCond(l.idx(e.Nodes[0]), l.idx(e.Nodes[1]))
+		case netlist.VSource:
+			markBranch(l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.BranchIndex[e.Name])
+		case netlist.VCVS:
+			br := l.BranchIndex[e.Name]
+			markBranch(l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), br)
+			p.Mark(br, l.idx(e.Nodes[2]))
+			p.Mark(br, l.idx(e.Nodes[3]))
+		case netlist.VCCS:
+			markVCCS(l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]))
+		case netlist.MOS:
+			d, g, s, b := l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
+			markVCCS(d, s, g, s) // gm
+			markCond(d, s)       // gds
+			markVCCS(d, s, b, s) // gmb
+			// Meyer terminal capacitances.
+			markCond(g, s)
+			markCond(g, d)
+			markCond(g, b)
+			markCond(d, b)
+			markCond(s, b)
+		}
+	}
+	return p
 }
 
 // phaseBase returns the constant stamp extended with the switch
@@ -103,10 +193,11 @@ func (cc *compiled) phaseBase(phase int) *la.Matrix {
 // solution x: id ≈ ID + gm·Δvgs + gds·Δvds + gmb·Δvbs. This is the only
 // matrix work repeated at every Newton iteration of the DC solver.
 func stampMOS(cc *compiled, a *la.Matrix, b []float64, x []float64) {
+	var op device.OP
 	for i := range cc.mosElems {
 		m := &cc.mosElems[i]
 		vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
-		op := m.par.Eval(vd, vg, vs, vb)
+		m.par.EvalInto(&op, vd, vg, vs, vb)
 		stampVCCS(a, m.d, m.s, m.g, m.s, op.GM)
 		stampConductance(a, m.d, m.s, op.GDS)
 		stampVCCS(a, m.d, m.s, m.b, m.s, op.GMB)
@@ -119,10 +210,11 @@ func stampMOS(cc *compiled, a *la.Matrix, b []float64, x []float64) {
 // stampMOSTran adds the MOS companions plus the backward-Euler Meyer
 // terminal capacitances referenced to the previous accepted step.
 func stampMOSTran(cc *compiled, a *la.Matrix, b []float64, x, xPrev []float64, h float64) {
+	var op device.OP
 	for i := range cc.mosElems {
 		m := &cc.mosElems[i]
 		vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
-		op := m.par.Eval(vd, vg, vs, vb)
+		m.par.EvalInto(&op, vd, vg, vs, vb)
 		stampVCCS(a, m.d, m.s, m.g, m.s, op.GM)
 		stampConductance(a, m.d, m.s, op.GDS)
 		stampVCCS(a, m.d, m.s, m.b, m.s, op.GMB)
@@ -153,7 +245,9 @@ func stampSources(cc *compiled, b []float64, t float64) {
 }
 
 // dcWorkspace holds every buffer the DC Newton loop touches, so an
-// iteration performs zero heap allocations.
+// iteration performs zero heap allocations. The factorization runs on
+// the compiled circuit's symbolic analysis (bit-identical to dense LU);
+// r and d are the residual/step scratch of the modified-Newton path.
 type dcWorkspace struct {
 	base  *la.Matrix // baseline for this newton call: const + gmin + switches
 	baseB []float64  // scaled independent-source RHS
@@ -161,7 +255,9 @@ type dcWorkspace struct {
 	b     []float64
 	x     []float64
 	xNew  []float64
-	lu    la.LU
+	r     []float64
+	d     []float64
+	slu   *la.SparseLU
 }
 
 func (cc *compiled) dcWS() *dcWorkspace {
@@ -171,6 +267,8 @@ func (cc *compiled) dcWS() *dcWorkspace {
 			base: la.NewMatrix(n, n), baseB: make([]float64, n),
 			a: la.NewMatrix(n, n), b: make([]float64, n),
 			x: make([]float64, n), xNew: make([]float64, n),
+			r: make([]float64, n), d: make([]float64, n),
+			slu: la.NewSparseLU(cc.sym),
 		}
 	}
 	return cc.dcws
@@ -207,9 +305,37 @@ func (ws *dcWorkspace) iterate(cc *compiled) error {
 	copy(ws.a.Data, ws.base.Data)
 	copy(ws.b, ws.baseB)
 	stampMOS(cc, ws.a, ws.b, ws.x)
-	if err := ws.lu.FactorInto(ws.a); err != nil {
+	if err := ws.slu.NumericFactor(ws.a); err != nil {
 		return err
 	}
-	ws.lu.SolveInto(ws.xNew, ws.b)
+	ws.slu.SolveInto(ws.xNew, ws.b)
+	return nil
+}
+
+// iterateReuse is the modified-Newton (Shamanskii) variant: the system
+// is stamped fresh, but when refactor is false the previous
+// factorization is reused and only a delta solve runs —
+// xNew = x − M⁻¹·(A·x − b) with M the stale factor. With refactor true
+// the factorization is refreshed and a direct solve runs (identical to
+// the delta solve with a fresh factor, minus the residual mat-vec).
+func (ws *dcWorkspace) iterateReuse(cc *compiled, refactor bool) error {
+	copy(ws.a.Data, ws.base.Data)
+	copy(ws.b, ws.baseB)
+	stampMOS(cc, ws.a, ws.b, ws.x)
+	if refactor {
+		if err := ws.slu.NumericFactor(ws.a); err != nil {
+			return err
+		}
+		ws.slu.SolveInto(ws.xNew, ws.b)
+		return nil
+	}
+	cc.sym.MulVecInto(ws.r, ws.a, ws.x)
+	for i := range ws.r {
+		ws.r[i] -= ws.b[i]
+	}
+	ws.slu.SolveInto(ws.d, ws.r)
+	for i := range ws.xNew {
+		ws.xNew[i] = ws.x[i] - ws.d[i]
+	}
 	return nil
 }

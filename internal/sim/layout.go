@@ -92,47 +92,61 @@ type compiled struct {
 	srcElems []srcElem
 	constG   *la.Matrix         // R/VCVS/VCCS/V-branch stamps: no gmin, no switches
 	phaseG   map[int]*la.Matrix // constG + switch conductances, per clock phase
+	sym      *la.Symbolic       // sparsity analysis of the full MNA stamp union
 	dcws     *dcWorkspace
 }
 
-func compile(c *netlist.Circuit) (*compiled, error) {
-	cc := &compiled{
-		circuit:  c,
-		layout:   NewLayout(c),
-		mos:      map[string]device.MOSParams{},
-		switches: map[string]device.SwitchParams{},
-	}
+// resolveDevices validates element values and resolves model cards into
+// device parameter structs. Shared by compile and the batch loader so a
+// batch candidate sees exactly the standalone validation.
+func resolveDevices(c *netlist.Circuit) (map[string]device.MOSParams, map[string]device.SwitchParams, error) {
+	mos := map[string]device.MOSParams{}
+	switches := map[string]device.SwitchParams{}
 	for _, e := range c.Elements {
 		switch e.Type {
 		case netlist.MOS:
 			m, err := c.ModelFor(e)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			p, err := device.FromNetlist(e, m)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			cc.mos[e.Name] = p
+			mos[e.Name] = p
 		case netlist.Switch:
 			m, err := c.ModelFor(e)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			cc.switches[e.Name] = device.SwitchFromNetlist(e, m)
+			switches[e.Name] = device.SwitchFromNetlist(e, m)
 		case netlist.Resistor:
 			if e.Value <= 0 {
-				return nil, fmt.Errorf("sim: %s has non-positive resistance %g", e.Name, e.Value)
+				return nil, nil, fmt.Errorf("sim: %s has non-positive resistance %g", e.Name, e.Value)
 			}
 		case netlist.Capacitor:
 			if e.Value <= 0 {
-				return nil, fmt.Errorf("sim: %s has non-positive capacitance %g", e.Name, e.Value)
+				return nil, nil, fmt.Errorf("sim: %s has non-positive capacitance %g", e.Name, e.Value)
 			}
 		case netlist.VSource, netlist.ISource:
 			if e.Src == nil {
-				return nil, fmt.Errorf("sim: source %s has no waveform", e.Name)
+				return nil, nil, fmt.Errorf("sim: source %s has no waveform", e.Name)
 			}
 		}
+	}
+	return mos, switches, nil
+}
+
+func compile(c *netlist.Circuit) (*compiled, error) {
+	mos, switches, err := resolveDevices(c)
+	if err != nil {
+		return nil, err
+	}
+	cc := &compiled{
+		circuit:  c,
+		layout:   NewLayout(c),
+		mos:      mos,
+		switches: switches,
 	}
 	if cc.layout.Size == 0 {
 		return nil, fmt.Errorf("sim: circuit %q has no unknowns", c.Title)

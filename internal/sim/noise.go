@@ -138,7 +138,7 @@ func Noise(c *netlist.Circuit, op *DCResult, opts NoiseOpts) (*NoiseResult, erro
 		PSD:       make([]float64, 0, nPts),
 		ByElement: map[string]float64{},
 	}
-	sys := newACSweep(g, cap)
+	sys := newACSweep(cc, g, cap)
 	b := make([]complex128, n)
 	x := make([]complex128, n)
 	perSrc := make([]float64, len(sources))
@@ -147,7 +147,7 @@ func Noise(c *netlist.Circuit, op *DCResult, opts NoiseOpts) (*NoiseResult, erro
 	for k := 0; k < nPts; k++ {
 		f := opts.FStart * math.Pow(10, decades*float64(k)/float64(nPts-1))
 		sys.setFreq(2 * math.Pi * f)
-		if err := sys.lu.FactorInto(sys.a); err != nil {
+		if err := sys.lu.NumericFactor(sys.a); err != nil {
 			return nil, fmt.Errorf("sim: noise solve failed at %g Hz: %w", f, err)
 		}
 		total := 0.0

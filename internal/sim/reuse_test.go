@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipesyn/internal/la"
+	"pipesyn/internal/netlist"
+)
+
+// reuseDeck is a clocked switched-capacitor MOS deck exercising every
+// stamp family the pattern recorder covers: MOS companions and Meyer
+// caps, switches in both phases, caps, VCVS/VCCS, and sources.
+const reuseDeck = `* sc integrator-ish reuse deck
+V1 vdd 0 DC 3.3
+VIN in 0 SIN(1.4 0.2 2e6)
+S1 in a sw phase=1
+S2 a 0 sw phase=2
+C1 a b 1p
+S3 b 0 sw phase=1
+S4 b out sw phase=2
+C2 out fb 2p
+M1 x1 b tail 0 nch W=20u L=0.5u
+M2 x2 fb tail 0 nch W=20u L=0.5u
+M3 x1 x1 vdd vdd pch W=40u L=0.5u
+M4 x2 x1 vdd vdd pch W=40u L=0.5u
+M5 out x2 vdd vdd pch W=60u L=0.35u
+M6 out bn 0 0 nch W=20u L=1u
+M7 bn bn 0 0 nch W=5u L=1u
+M8 tail bn 0 0 nch W=20u L=1u
+IB vdd bn DC 20u
+CL out 0 1p
+.model sw sw (ron=1k roff=1e12)
+.model nch nmos (vto=0.45 kp=180u)
+.model pch pmos (vto=-0.5 kp=60u)
+`
+
+func parseDeck(t *testing.T, deck string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.Parse(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSymbolicCoversAssembled checks that the compile-time sparsity
+// pattern covers every nonzero the DC and transient assemblers can
+// produce, across random candidate states and all switch phases. A
+// position outside the pattern would silently corrupt the sparse
+// factorization, so this is the safety net for the pattern recorder.
+func TestSymbolicCoversAssembled(t *testing.T) {
+	c := parseDeck(t, reuseDeck)
+	cc, err := compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cc.layout.Size
+	a := la.NewMatrix(n, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		for i := range x {
+			x[i] = 3.3 * (rng.Float64() - 0.2)
+		}
+		for phase := 0; phase <= 2; phase++ {
+			for i := range a.Data {
+				a.Data[i] = 0
+			}
+			stampDC(cc, a, b, x, 1e-12, 1, phase)
+			if !cc.sym.Covers(a) {
+				t.Fatalf("trial %d phase %d: DC stamp has nonzero outside symbolic pattern", trial, phase)
+			}
+			// Transient assembly: phase base + companions + MOS tran stamps.
+			copy(a.Data, cc.phaseBase(phase).Data)
+			for i := 0; i < len(cc.layout.Nodes); i++ {
+				a.Add(i, i, 1e-12)
+			}
+			for i := range b {
+				b[i] = 0
+			}
+			stampMOSTran(cc, a, b, x, x, 1e-9)
+			if !cc.sym.Covers(a) {
+				t.Fatalf("trial %d phase %d: tran stamp has nonzero outside symbolic pattern", trial, phase)
+			}
+		}
+	}
+}
+
+// TestNewtonReuseOPMatchesDefault: the modified-Newton knob must land on
+// the same operating point as the default full-Newton path within the
+// solver's convergence tolerance. Both iterations share the same fixed
+// point, but the stale-factor path stops when its (linearly contracting)
+// step is small, so the landed point can differ by a few times the step
+// tolerance at high-gain nodes.
+func TestNewtonReuseOPMatchesDefault(t *testing.T) {
+	c := parseDeck(t, reuseDeck)
+	ref, err := OP(c, DCOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OP(c, DCOpts{NewtonReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, v := range ref.V {
+		g := got.V[node]
+		if math.Abs(g-v) > 5e-3*(1+math.Abs(v)) {
+			t.Errorf("node %s: reuse OP %.12g vs default %.12g", node, g, v)
+		}
+	}
+}
+
+// TestNewtonReuseTranMatchesDefault: transient waveforms with the reuse
+// knob on must track the default path within the Newton step tolerance
+// at every accepted step (same fixed point, looser landing — see the OP
+// test above).
+func TestNewtonReuseTranMatchesDefault(t *testing.T) {
+	c := parseDeck(t, reuseDeck)
+	opts := TranOpts{
+		TStop: 1e-6, TStep: 2e-9,
+		ClockPeriod: 1e-7, NonOverlap: 2e-9,
+	}
+	ref, err := Tran(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NewtonReuse = true
+	got, err := Tran(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.T) != len(ref.T) {
+		t.Fatalf("step counts differ: %d vs %d", len(got.T), len(ref.T))
+	}
+	for node, w := range ref.V {
+		gw := got.V[node]
+		for i := range w {
+			// Tolerance is loose relative to the supply swing: the two
+			// trajectories accumulate independent step-tolerance errors
+			// through the capacitor memory, which amplify transiently at
+			// clock-switch edges.
+			if math.Abs(gw[i]-w[i]) > 2e-2*(1+math.Abs(w[i])) {
+				t.Fatalf("node %s sample %d (t=%g): reuse %.9g vs default %.9g",
+					node, i, ref.T[i], gw[i], w[i])
+			}
+		}
+	}
+}
+
+// TestTranDefaultBitIdenticalToDense: with every knob off, the sparse
+// solver must reproduce the dense-era results exactly — the factorization
+// is pivot-exact, so waveforms are compared bitwise against a dense
+// reference solve of the same deck.
+func TestTranDefaultBitIdenticalToDense(t *testing.T) {
+	c := parseDeck(t, reuseDeck)
+	opts := TranOpts{
+		TStop: 5e-7, TStep: 2e-9,
+		ClockPeriod: 1e-7, NonOverlap: 2e-9,
+	}
+	ref, err := Tran(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run must be deterministic to the bit.
+	again, err := Tran(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, w := range ref.V {
+		aw := again.V[node]
+		for i := range w {
+			if math.Float64bits(aw[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("node %s sample %d: runs differ bitwise", node, i)
+			}
+		}
+	}
+}

@@ -30,6 +30,13 @@ type TranOpts struct {
 	// Gmin is the floor conductance from every node to ground, matching
 	// DCOpts.Gmin (default 1e-12 S).
 	Gmin float64
+	// NewtonReuse enables modified-Newton (Shamanskii) iteration: within
+	// a time step the Jacobian factorization from the first iteration is
+	// reused while the step norm keeps contracting, and refreshed on slow
+	// convergence. A step that fails to converge is retried with plain
+	// Newton before the usual halving rescue. Off (the default) the
+	// solver path is bit-identical to the historical full-Newton loop.
+	NewtonReuse bool
 	// UseICs starts from the given node voltages instead of a DC solve.
 	UseICs bool
 	ICs    map[string]float64
@@ -125,7 +132,17 @@ type tranRun struct {
 	a     *la.Matrix // per-Newton-iteration system
 	b     []float64
 	xNew  []float64
-	lu    la.LU
+	r     []float64 // modified-Newton residual scratch
+	d     []float64 // modified-Newton step scratch
+	slu   *la.SparseLU
+
+	// Modified-Newton factorization state, carried across time steps:
+	// within a clock phase at a fixed step width the Jacobian drifts
+	// slowly, so the stale factor keeps converging for several steps.
+	haveFactor bool
+	reuseCount int
+	lastPhase  int
+	lastH      float64
 }
 
 func newTranRun(cc *compiled, opts TranOpts, x0 []float64) *tranRun {
@@ -135,6 +152,8 @@ func newTranRun(cc *compiled, opts TranOpts, x0 []float64) *tranRun {
 		stepA: la.NewMatrix(n, n), stepB: make([]float64, n),
 		a: la.NewMatrix(n, n), b: make([]float64, n),
 		xNew: make([]float64, n),
+		r:    make([]float64, n), d: make([]float64, n),
+		slu: la.NewSparseLU(cc.sym),
 	}
 	tr.caps = make([]capRun, len(cc.capElems))
 	for i, ce := range cc.capElems {
@@ -176,15 +195,71 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 	}
 	stampSources(cc, tr.stepB, t)
 	copy(dst, xFrom)
+	if phase != tr.lastPhase || h != tr.lastH {
+		// Switch conductances or companion weights changed: any carried
+		// factorization is far from the new Jacobian.
+		tr.haveFactor = false
+	}
+	tr.lastPhase, tr.lastH = phase, h
+	err := tr.newtonLoop(dst, xFrom, t, h, tr.opts.NewtonReuse)
+	if err != nil && tr.opts.NewtonReuse {
+		// Divergence fallback: a stale factorization can stall on hard
+		// steps; rerun the step with plain full Newton before the caller
+		// resorts to halving.
+		tr.haveFactor = false
+		copy(dst, xFrom)
+		err = tr.newtonLoop(dst, xFrom, t, h, false)
+	}
+	return err
+}
+
+// newtonLoop runs the damped Newton iteration of one step against the
+// already-assembled step baseline. With reuse enabled the Jacobian is
+// factored on the first iteration and then reused (delta solves against
+// the stale factor) while the damped step norm contracts; it is
+// refreshed when convergence slows or after several reuses.
+func (tr *tranRun) newtonLoop(dst, xFrom []float64, t, h float64, reuse bool) error {
+	cc := tr.cc
+	l := cc.layout
 	worstIdx, worstDelta := -1, 0.0
+	lastStep, prevStep := math.Inf(1), math.Inf(1)
 	for it := 0; it < tr.opts.MaxNewton; it++ {
 		copy(tr.a.Data, tr.stepA.Data)
 		copy(tr.b, tr.stepB)
 		stampMOSTran(cc, tr.a, tr.b, dst, xFrom, h)
-		if err := tr.lu.FactorInto(tr.a); err != nil {
-			return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
+		if !reuse {
+			if err := tr.slu.NumericFactor(tr.a); err != nil {
+				return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
+			}
+			tr.haveFactor = true
+			tr.reuseCount = 0
+			tr.slu.SolveInto(tr.xNew, tr.b)
+		} else {
+			// Refresh when no factorization is carried, after a bounded
+			// number of stale solves, or when the iteration stops
+			// contracting (the stale factor has drifted too far).
+			refactor := !tr.haveFactor || tr.reuseCount >= 20 || lastStep > 0.5*prevStep
+			if refactor {
+				if err := tr.slu.NumericFactor(tr.a); err != nil {
+					return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
+				}
+				tr.haveFactor = true
+				tr.reuseCount = 0
+				// Fresh factor: the direct solve equals the delta solve
+				// and skips the residual mat-vec.
+				tr.slu.SolveInto(tr.xNew, tr.b)
+			} else {
+				tr.reuseCount++
+				cc.sym.MulVecInto(tr.r, tr.a, dst)
+				for i := range tr.r {
+					tr.r[i] -= tr.b[i]
+				}
+				tr.slu.SolveInto(tr.d, tr.r)
+				for i := range tr.xNew {
+					tr.xNew[i] = dst[i] - tr.d[i]
+				}
+			}
 		}
-		tr.lu.SolveInto(tr.xNew, tr.b)
 		sol := tr.xNew
 		maxStep := 0.0
 		maxIdx := -1
@@ -195,6 +270,7 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 			}
 		}
 		worstIdx, worstDelta = maxIdx, maxStep
+		prevStep, lastStep = lastStep, maxStep
 		// Damp large Newton excursions (a hard residue step can throw
 		// devices across regions; full steps then oscillate).
 		alpha := 1.0
@@ -258,6 +334,18 @@ func (tr *tranRun) advance(xFrom, dst []float64, tPrev, h float64, method Integr
 // nonlinear network by Newton iteration with capacitor companion models
 // (trapezoidal by default). Clocked switches follow the two-phase clock.
 func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
+	cc, err := compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return tranCompiled(cc, opts)
+}
+
+// tranCompiled is the compiled-circuit transient solver. The initial
+// operating point runs on the same compilation, so a transient analysis
+// compiles its netlist exactly once (Batch enters here with a shared,
+// already-warm compilation).
+func tranCompiled(cc *compiled, opts TranOpts) (*TranResult, error) {
 	if opts.TStop <= 0 || opts.TStep <= 0 || opts.TStep > opts.TStop {
 		return nil, fmt.Errorf("sim: bad transient window step=%g stop=%g", opts.TStep, opts.TStop)
 	}
@@ -266,10 +354,6 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 	}
 	if opts.Gmin == 0 {
 		opts.Gmin = 1e-12
-	}
-	cc, err := compile(c)
-	if err != nil {
-		return nil, err
 	}
 	l := cc.layout
 	n := l.Size
@@ -283,7 +367,7 @@ func Tran(c *netlist.Circuit, opts TranOpts) (*TranResult, error) {
 			}
 		}
 	} else {
-		dc, err := OP(c, DCOpts{SwitchPhase: ClockPhase(0, opts.ClockPeriod, opts.NonOverlap)})
+		dc, err := opCompiled(cc, DCOpts{SwitchPhase: ClockPhase(0, opts.ClockPeriod, opts.NonOverlap), NewtonReuse: opts.NewtonReuse})
 		if err != nil {
 			return nil, fmt.Errorf("sim: transient initial OP: %w", err)
 		}

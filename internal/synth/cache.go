@@ -58,7 +58,7 @@ func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 	if proc != nil {
 		procName = proc.Name
 	}
-	blob, err := json.Marshal(struct {
+	type keyFields struct {
 		Spec                         stagespec.MDACSpec
 		Process                      string
 		Seed                         int64
@@ -66,9 +66,18 @@ func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 		Restarts                     int
 		InitTemp, CoolRate, PenaltyW float64
 		Mode, Topology               int
-	}{spec, procName, opts.Seed, opts.MaxEvals, opts.PatternIter,
+		// BatchEval changes the annealing trajectory only when >1, and
+		// keys minted before the knob existed must stay valid, so the
+		// field is omitted from the serialized form at its default.
+		BatchEval int `json:",omitempty"`
+	}
+	kf := keyFields{spec, procName, opts.Seed, opts.MaxEvals, opts.PatternIter,
 		opts.Restarts, opts.InitTemp, opts.CoolRate, opts.PenaltyW,
-		int(opts.Mode), int(opts.Topology)})
+		int(opts.Mode), int(opts.Topology), 0}
+	if opts.BatchEval > 1 {
+		kf.BatchEval = opts.BatchEval
+	}
+	blob, err := json.Marshal(kf)
 	if err != nil {
 		// Only value fields above; Marshal cannot fail. Keep the
 		// signature clean and make any future regression loud.

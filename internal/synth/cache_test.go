@@ -41,6 +41,13 @@ func TestCacheKeyStability(t *testing.T) {
 	if CacheKey(spec, proc, implied) != CacheKey(spec, proc, explicit) {
 		t.Fatal("default normalization failed")
 	}
+	// BatchEval 0 and 1 both mean serial annealing, so neither may move
+	// the key — addresses minted before the knob existed stay valid.
+	serial := opts
+	serial.BatchEval = 1
+	if CacheKey(spec, proc, serial) != key {
+		t.Fatal("BatchEval=1 changed the key")
+	}
 
 	// Everything that shapes the result must move the key.
 	for name, mutate := range map[string]func(*Options){
@@ -49,6 +56,7 @@ func TestCacheKeyStability(t *testing.T) {
 		"mode":     func(o *Options) { o.Mode = hybrid.EquationOnly },
 		"topology": func(o *Options) { o.Topology = opamp.Telescopic },
 		"restarts": func(o *Options) { o.Restarts = 3 },
+		"batch":    func(o *Options) { o.BatchEval = 8 },
 	} {
 		m := opts
 		mutate(&m)

@@ -38,6 +38,15 @@ type Options struct {
 	Topology    opamp.Topology // amplifier cell class (default Miller)
 	WarmStart   opamp.Amp      // retargeting seed; nil = equation start
 	PatternIter int            // pattern-search polish evaluations (default 120)
+	// BatchEval sets the annealer's evaluation batch width: each move
+	// draws BatchEval perturbations of the incumbent with sequential RNG
+	// draws, scores them through one warm simulation kernel
+	// (hybrid.EvaluateBatch), and folds the acceptance decisions in index
+	// order. 0 or 1 keeps the historical one-candidate-per-move loop and
+	// its exact search trajectory; widths >1 trade per-move locality for
+	// kernel amortization and follow a different (still deterministic)
+	// trajectory, so the value is part of the cache key only when >1.
+	BatchEval int
 	// Restarts repeats the anneal+polish pipeline from fresh random seeds
 	// and keeps the best outcome; use >1 when the power comparison must
 	// be low-variance (the figure-reproduction sweeps do).
@@ -101,6 +110,9 @@ func (o *Options) defaults() {
 	}
 	if o.Restarts == 0 {
 		o.Restarts = 1
+	}
+	if o.BatchEval < 1 {
+		o.BatchEval = 1
 	}
 	if o.WarmStart != nil {
 		// Retargeting: the seed is near-feasible, so spend a fraction of
@@ -276,18 +288,13 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 	}
 
 	// Simulated annealing over log-space perturbations. The context is
-	// the abort signal: it is checked once per evaluation granule, so a
-	// cancelled study stops after the candidate in flight.
+	// the abort signal: it is checked once per move, so a cancelled study
+	// stops after the candidate (or batch) in flight.
 	temp := opts.InitTemp
-	for ev.evals < opts.MaxEvals {
-		if err := ctx.Err(); err != nil {
-			return nil, ev.evals, err
-		}
-		cand := perturb(rng, cur.sizing, temp, proc)
-		sc := ev.score(ctx, cand)
+	fold := func(sc scored) {
 		if sc.err == nil {
 			if firstFeasible < 0 && sc.feasible() {
-				firstFeasible = ev.evals
+				firstFeasible = sc.ord
 			}
 			accept := sc.cost < cur.cost
 			if !accept && temp > 0 {
@@ -301,6 +308,31 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 			}
 		}
 		temp *= opts.CoolRate
+	}
+	for ev.evals < opts.MaxEvals {
+		if err := ctx.Err(); err != nil {
+			return nil, ev.evals, err
+		}
+		if opts.BatchEval <= 1 {
+			fold(ev.score(ctx, perturb(rng, cur.sizing, temp, proc)))
+			continue
+		}
+		// Batched move: every perturbation starts from the incumbent and
+		// the batch-start temperature (the draws are sequential, so the
+		// trajectory is reproducible for a fixed BatchEval); acceptance
+		// folds in index order, cooling once per candidate to keep the
+		// schedule length identical to the serial loop.
+		n := opts.BatchEval
+		if rem := opts.MaxEvals - ev.evals; n > rem {
+			n = rem
+		}
+		cands := make([]opamp.Amp, n)
+		for j := range cands {
+			cands[j] = perturb(rng, cur.sizing, temp, proc)
+		}
+		for _, sc := range ev.scoreBatch(ctx, cands) {
+			fold(sc)
+		}
 	}
 
 	// Coordinate pattern search around the best point.
@@ -324,12 +356,16 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 	}, ev.evals, nil
 }
 
-// scored couples a sizing with its evaluation.
+// scored couples a sizing with its evaluation. ord is the 1-based
+// evaluator ordinal the candidate was scored at (the batch path scores
+// several candidates before any of them is folded, so the fold cannot
+// read the live counter).
 type scored struct {
 	sizing  opamp.Amp
 	metrics hybrid.Metrics
 	report  hybrid.SpecReport
 	cost    float64
+	ord     int
 	err     error
 }
 
@@ -358,17 +394,24 @@ func newEvaluator(spec stagespec.MDACSpec, proc *pdk.Process, mode hybrid.Mode, 
 // violations into a scalar cost: normalized power plus weighted penalty.
 func (ev *evaluator) score(ctx context.Context, s opamp.Amp) scored {
 	ev.evals++
+	ord := ev.evals
 	if ev.progress != nil {
 		start := time.Now()
-		defer func() { ev.progress(Progress{Eval: ev.evals, Elapsed: time.Since(start)}) }()
+		defer func() { ev.progress(Progress{Eval: ord, Elapsed: time.Since(start)}) }()
 	}
 	if ev.hook != nil {
-		if err := ev.hook(ctx, ev.evals); err != nil {
-			return scored{sizing: s, err: err, cost: math.Inf(1)}
+		if err := ev.hook(ctx, ord); err != nil {
+			return scored{sizing: s, ord: ord, err: err, cost: math.Inf(1)}
 		}
 	}
 	m, err := ev.se.Evaluate(ctx, s)
-	out := scored{sizing: s, metrics: m, err: err}
+	return ev.finish(s, ord, m, err)
+}
+
+// finish folds an evaluation outcome into a scored candidate: constraint
+// audit plus the scalar cost (normalized power + weighted penalty).
+func (ev *evaluator) finish(s opamp.Amp, ord int, m hybrid.Metrics, err error) scored {
+	out := scored{sizing: s, ord: ord, metrics: m, err: err}
 	if err != nil {
 		out.cost = math.Inf(1)
 		return out
@@ -379,6 +422,45 @@ func (ev *evaluator) score(ctx context.Context, s opamp.Amp) scored {
 	// weight is meaningful across stages.
 	pRef := ev.proc.VDD * 1e-3 // 1 mA scale
 	out.cost = m.Power/pRef + ev.penaltyW*out.report.Violations
+	return out
+}
+
+// scoreBatch scores a slice of candidates through one warm simulation
+// kernel. Hooks run per candidate in index order with the same ordinals
+// the serial path would assign; hook-rejected candidates are excluded
+// from the kernel call but still counted. Progress observations are
+// emitted per candidate after the batch completes, each carrying an
+// equal share of the batch's wall-clock cost.
+func (ev *evaluator) scoreBatch(ctx context.Context, cands []opamp.Amp) []scored {
+	out := make([]scored, len(cands))
+	keep := make([]int, 0, len(cands))
+	start := time.Now()
+	for i, s := range cands {
+		ev.evals++
+		out[i] = scored{sizing: s, ord: ev.evals}
+		if ev.hook != nil {
+			if err := ev.hook(ctx, ev.evals); err != nil {
+				out[i].err = err
+				out[i].cost = math.Inf(1)
+				continue
+			}
+		}
+		keep = append(keep, i)
+	}
+	sub := make([]opamp.Amp, len(keep))
+	for j, i := range keep {
+		sub[j] = cands[i]
+	}
+	ms, errs := ev.se.EvaluateBatch(ctx, sub)
+	for j, i := range keep {
+		out[i] = ev.finish(cands[i], out[i].ord, ms[j], errs[j])
+	}
+	if ev.progress != nil {
+		share := time.Since(start) / time.Duration(len(cands))
+		for i := range out {
+			ev.progress(Progress{Eval: out[i].ord, Elapsed: share})
+		}
+	}
 	return out
 }
 

@@ -58,8 +58,29 @@ func BenchmarkOP(b *testing.B) {
 }
 
 // BenchmarkTranSettle is the transient leg: the worst-case residue step
-// over the same settling window the hybrid evaluator uses.
+// over the same settling window the hybrid evaluator uses, on the
+// symbolic-factorization + modified-Newton (Shamanskii) solver path.
 func BenchmarkTranSettle(b *testing.B) {
+	st := benchStage(b)
+	hold := benchHold(b)
+	window := st.Spec.TSlew + st.Spec.TSettle
+	opts := sim.TranOpts{
+		TStop:       mdac.StepDelay + 1.5*window,
+		TStep:       window / 400,
+		NewtonReuse: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Tran(hold, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranSettleFullNewton is the same transient on the default
+// full-Newton path (factor every iteration; bit-identical to the
+// historical dense solver).
+func BenchmarkTranSettleFullNewton(b *testing.B) {
 	st := benchStage(b)
 	hold := benchHold(b)
 	window := st.Spec.TSlew + st.Spec.TSettle
