@@ -24,12 +24,18 @@ go test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' 
 # (same -state-dir restart must finish the interrupted study).
 ./scripts/serve_smoke.sh
 # Sparse-solver lane: the sparse/dense bit-exactness, symbolic-coverage,
-# modified-Newton determinism, and batched-evaluation equivalence tests
-# under the race detector — the correctness contract of the fast path.
-go test -race -run 'MatchesDense|SymbolicCovers|NewtonReuse|BitIdentical|Batch' \
+# modified-Newton determinism, ordered-pivot equivalence, and
+# batched-evaluation equivalence tests under the race detector — the
+# correctness contract of the fast path.
+go test -race -run 'MatchesDense|SymbolicCovers|NewtonReuse|BitIdentical|Batch|OrderedPivot' \
     ./internal/la ./internal/sim ./internal/hybrid ./internal/synth
 # Benchmark smoke: one iteration of the kernel and end-to-end benchmarks
-# so perf-path regressions (panics, singular matrices) surface in CI
-# without paying for a full measurement run.
+# (including the batched-evaluator and full-study paths) so perf-path
+# regressions (panics, singular matrices) surface in CI without paying
+# for a full measurement run.
 go test -bench=. -benchtime=1x -run='^$' ./internal/la ./internal/expr ./internal/sim ./internal/hybrid
-go test -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep)$' -benchtime=1x -run='^$' .
+go test -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b)$' -benchtime=1x -run='^$' .
+# Advisory perf diff against the committed BENCH_kernels.json snapshot:
+# prints >10% ns/op regressions but never fails the gate (shared CI
+# boxes are noisy; BENCHDIFF_STRICT=1 makes it fatal locally).
+BENCHDIFF_BENCHTIME=1x ./scripts/benchdiff.sh || true

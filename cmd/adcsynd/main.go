@@ -7,7 +7,7 @@
 //
 //	adcsynd [-addr :8080] [-workers 0] [-queue 16] [-executors 1]
 //	        [-cache-dir DIR] [-state-dir DIR] [-retain 256] [-retain-age 1h]
-//	        [-job-timeout 0] [-drain-timeout 30s]
+//	        [-job-timeout 0] [-drain-timeout 30s] [-pprof ADDR]
 //
 // Endpoints:
 //
@@ -41,7 +41,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,7 +65,30 @@ func main() {
 	retainAge := flag.Duration("retain-age", time.Hour, "terminal jobs older than this are evicted (0 = no age bound)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per study (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
+	pprofAddr := flag.String("pprof", "", "loopback address for net/http/pprof, e.g. 127.0.0.1:6060 (empty = off)")
 	flag.Parse()
+
+	// Profiling is served on its own loopback listener with a dedicated
+	// mux: the debug surface never shares a port (or a handler tree) with
+	// the public API, so exposing -addr does not expose pprof.
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listen: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "adcsynd: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "adcsynd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
 
 	// The cache is always on: request dedup across time is the service's
 	// whole economy. -cache-dir adds the persistent tier.

@@ -212,13 +212,15 @@ func StudyKey(opts Options) string {
 		Topology                     int
 		// BatchEval alters the annealing trajectory only when >1; keys
 		// minted before the knob existed must stay valid, so it is
-		// omitted at its default (mirrors synth.CacheKey).
-		BatchEval int `json:",omitempty"`
+		// omitted at its default (mirrors synth.CacheKey). NewtonReuse
+		// keys the same way: omitted unless the reuse path is on.
+		BatchEval   int  `json:",omitempty"`
+		NewtonReuse bool `json:",omitempty"`
 	}
 	kf := keyFields{opts.Bits, opts.SampleRate, opts.VRef, opts.Process.Name, int(opts.Mode),
 		opts.Constraints, opts.Retarget, opts.IncludeSHA,
 		s.Seed, s.MaxEvals, s.PatternIter, s.Restarts,
-		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology), 0}
+		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology), 0, s.NewtonReuse}
 	if s.BatchEval > 1 {
 		kf.BatchEval = s.BatchEval
 	}

@@ -1,0 +1,154 @@
+// batch.go packs MOS parameters as a struct-of-arrays slab for batched
+// candidate evaluation. The per-Newton-iteration stamp loop is the
+// hottest code in the simulator; evaluating it against MOSParams structs
+// drags a string header and several never-read fields through the cache
+// and recomputes the same derived constants (KP·W/L, λ·Lref/L, √φ, the
+// geometry capacitances) on every call. A ParamsBatch precomputes those
+// constants once at pack time and lays the per-device values out as flat
+// parallel float64 slices, candidate-major, so one candidate's Newton
+// iteration streams a contiguous slab region.
+package device
+
+import "math"
+
+// ParamsBatch holds the packed parameters of B structurally identical
+// candidates, each with the same D devices in the same order. Device j
+// of candidate i lives at flat index i*Stride()+j in every column.
+// EvalInto is bit-identical to MOSParams.EvalInto on the device that was
+// packed: every precomputed constant uses the exact expression (and
+// operation order) of the scalar path, so switching a solver between the
+// two never perturbs results.
+type ParamsBatch struct {
+	cands, devs int
+
+	pol     []float64 // +1 NMOS, −1 PMOS
+	vtoN    []float64 // threshold in the mapped-NMOS frame
+	gamma   []float64
+	phi     []float64
+	sqrtPhi []float64
+	k       []float64 // KP·W/L
+	lam     []float64 // Lambda·0.25µm/L
+	cch     []float64 // Cox·W·L
+	cgsoW   []float64 // CGSO·W
+	cgdoW   []float64 // CGDO·W
+	cjwW    []float64 // CJW·W
+}
+
+// NewParamsBatch allocates a slab for cands candidates of devs devices.
+func NewParamsBatch(cands, devs int) *ParamsBatch {
+	n := cands * devs
+	return &ParamsBatch{
+		cands: cands, devs: devs,
+		pol: make([]float64, n), vtoN: make([]float64, n),
+		gamma: make([]float64, n), phi: make([]float64, n),
+		sqrtPhi: make([]float64, n), k: make([]float64, n),
+		lam: make([]float64, n), cch: make([]float64, n),
+		cgsoW: make([]float64, n), cgdoW: make([]float64, n),
+		cjwW: make([]float64, n),
+	}
+}
+
+// Stride returns the devices-per-candidate stride: candidate i's devices
+// occupy flat indices [i*Stride(), (i+1)*Stride()).
+func (pb *ParamsBatch) Stride() int { return pb.devs }
+
+// Cands returns the number of candidates the slab was sized for.
+func (pb *ParamsBatch) Cands() int { return pb.cands }
+
+// Set packs device dev of candidate cand, precomputing the derived
+// constants the evaluation path reads.
+func (pb *ParamsBatch) Set(cand, dev int, p *MOSParams) {
+	i := cand*pb.devs + dev
+	pol, vtoN := 1.0, p.VTO
+	if p.PMOS {
+		pol, vtoN = -1, -p.VTO
+	}
+	pb.pol[i] = pol
+	pb.vtoN[i] = vtoN
+	pb.gamma[i] = p.Gamma
+	pb.phi[i] = p.Phi
+	pb.sqrtPhi[i] = math.Sqrt(p.Phi)
+	pb.k[i] = p.KP * p.W / p.L
+	pb.lam[i] = p.Lambda * 0.25e-6 / p.L
+	pb.cch[i] = p.Cox * p.W * p.L
+	pb.cgsoW[i] = p.CGSO * p.W
+	pb.cgdoW[i] = p.CGDO * p.W
+	pb.cjwW[i] = p.CJW * p.W
+}
+
+// EvalInto evaluates the packed device at flat index idx at the given
+// terminal voltages, writing the operating point into op. It mirrors
+// MOSParams.EvalInto operation for operation — polarity mapping,
+// drain/source reverse swap, square-law forward evaluation, Meyer
+// capacitances — reading only the precomputed slab columns.
+func (pb *ParamsBatch) EvalInto(op *OP, idx int, vd, vg, vs, vb float64) {
+	pol := pb.pol[idx]
+	vgs := pol * (vg - vs)
+	vds := pol * (vd - vs)
+	vbs := pol * (vb - vs)
+	reverse := vds < 0
+	if reverse {
+		vgs, vds, vbs = vgs-vds, -vds, vbs-vds
+	}
+	// Body effect on the clamped branch, exactly like evalForward.
+	arg := pb.phi[idx] - vbs
+	var dvthDvbs float64
+	if arg < 1e-6 {
+		arg = 1e-6
+	} else {
+		dvthDvbs = -pb.gamma[idx] / (2 * math.Sqrt(arg))
+	}
+	vth := pb.vtoN[idx] + pb.gamma[idx]*(math.Sqrt(arg)-pb.sqrtPhi[idx])
+	vov := vgs - vth
+	k := pb.k[idx]
+	lam := pb.lam[idx]
+	var id, gm, gds, gmb float64
+	var region Region
+	switch {
+	case vov <= 0:
+		region = Cutoff
+		const gleak = 1e-12
+		id = gleak * vds
+		gds = gleak
+	case vds >= vov:
+		region = Saturation
+		cm := 1 + lam*vds
+		id = 0.5 * k * vov * vov * cm
+		gm = k * vov * cm
+		gds = 0.5 * k * vov * vov * lam
+		gmb = gm * (-dvthDvbs)
+	default:
+		region = Triode
+		cm := 1 + lam*vds
+		base := vov*vds - 0.5*vds*vds
+		id = k * base * cm
+		gm = k * vds * cm
+		gds = k*(vov-vds)*cm + k*base*lam
+		gmb = gm * (-dvthDvbs)
+	}
+	if reverse {
+		id, gm, gds, gmb = -id, -gm, gm+gds+gmb, -gmb
+	}
+	op.ID = pol * id
+	op.GM, op.GDS, op.GMB = gm, gds, gmb
+	op.Region = region
+	op.VGS = vgs
+	op.VDS = vds
+	op.VOV = vov
+	switch region {
+	case Cutoff:
+		op.CGB = pb.cch[idx]
+		op.CGS = pb.cgsoW[idx]
+		op.CGD = pb.cgdoW[idx]
+	case Saturation:
+		op.CGS = (2.0/3.0)*pb.cch[idx] + pb.cgsoW[idx]
+		op.CGD = pb.cgdoW[idx]
+		op.CGB = 0
+	case Triode:
+		op.CGS = 0.5*pb.cch[idx] + pb.cgsoW[idx]
+		op.CGD = 0.5*pb.cch[idx] + pb.cgdoW[idx]
+		op.CGB = 0
+	}
+	op.CDB = pb.cjwW[idx]
+	op.CSB = pb.cjwW[idx]
+}

@@ -47,15 +47,18 @@ func BenchmarkEvaluateSerial8(b *testing.B) {
 }
 
 // BenchmarkEvaluateBatch8 evaluates the same 8 candidates through one
-// warm sim.Batch kernel; compare ns/op against EvaluateSerial8 for the
-// per-candidate amortization (results are bitwise identical either way;
-// see TestEvaluateBatchMatchesSerial).
+// warm sim.Batch kernel with the reuse-Newton solver on — the
+// configuration the annealer's batched moves run (synth.Options
+// {BatchEval, NewtonReuse}). Compare ns/op against EvaluateSerial8 for
+// the full batched-path speedup; for the same-config bitwise
+// equivalence contract see TestEvaluateBatchMatchesSerial.
 func BenchmarkEvaluateBatch8(b *testing.B) {
 	st := relaxedStage(b)
 	sizings := benchSizings(b, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		se := NewStageEvaluator(st.Spec, st.Process, Hybrid)
+		se.NewtonReuse = true
 		_, errs := se.EvaluateBatch(context.Background(), sizings)
 		for _, err := range errs {
 			if err != nil {

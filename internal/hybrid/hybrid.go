@@ -89,6 +89,12 @@ type StageEvaluator struct {
 	Process *pdk.Process
 	Mode    Mode
 
+	// NewtonReuse enables the simulator's factorization-reuse Newton
+	// variant (DESIGN.md §5.5) on the DC and transient legs. It applies
+	// identically to the serial and batched paths, so Evaluate and
+	// EvaluateBatch stay bitwise interchangeable for a given setting.
+	NewtonReuse bool
+
 	prog *expr.Program
 	vars []string
 	sIdx int
@@ -304,7 +310,7 @@ func (se *StageEvaluator) evaluateHold(ctx context.Context, st mdac.Stage, hold 
 	sp := st.Spec
 
 	tDC := time.Now()
-	op, err := sv.op(hold, sim.DCOpts{})
+	op, err := sv.op(hold, sim.DCOpts{NewtonReuse: se.NewtonReuse})
 	if err != nil {
 		return m, fmt.Errorf("hybrid: closed-loop OP: %w", err)
 	}
@@ -389,7 +395,7 @@ func (se *StageEvaluator) evaluateHold(ctx context.Context, st mdac.Stage, hold 
 	tStop := mdac.StepDelay + 1.5*window
 	tStep := window / 400
 	tTran := time.Now()
-	tr, err := sv.tran(hold, sim.TranOpts{TStop: tStop, TStep: tStep})
+	tr, err := sv.tran(hold, sim.TranOpts{TStop: tStop, TStep: tStep, NewtonReuse: se.NewtonReuse})
 	if err != nil {
 		return m, fmt.Errorf("hybrid: transient: %w", err)
 	}

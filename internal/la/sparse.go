@@ -131,6 +131,8 @@ type Symbolic struct {
 	n       int
 	ordered bool
 	nnzIdx  []int32 // flat indices of the input pattern (scatter, max-abs scan)
+	mulPtr  []int32 // CSR row offsets into nnzIdx/mulCol for MulVecInto
+	mulCol  []int32 // column of each nnzIdx entry (avoids div/mod per entry)
 	stats   SymbolicStats
 
 	// Partial-pivot (Analyze) mode: the initial row and column patterns
@@ -147,12 +149,16 @@ type Symbolic struct {
 
 	// Static-order (AnalyzeOrdered) mode, all in permuted coordinates:
 	// position k eliminates original row rowOrder[k] / column colOrder[k].
+	// The per-step/per-row index lists are stored flattened (CSR-style
+	// ptr+idx pairs) so the numeric factor and solve loops walk one flat
+	// array instead of chasing per-row slice headers.
 	rowOrder, colOrder []int32
-	scatterDst         []int32   // permuted flat index per nnzIdx entry
-	lrows              [][]int32 // per step k: rows i>k with structural L(i,k)
-	ucols              [][]int32 // per step k: columns j>k of the pivot row
-	lpat               [][]int32 // per row i: its L columns, for forward solves
-	permSign           int       // parity of rowOrder ∘ colOrder⁻¹, for Det
+	scatterDst         []int32 // permuted flat index per nnzIdx entry
+	lrowPtr, lrowIdx   []int32 // per step k: rows i>k with structural L(i,k)
+	ucolPtr, ucolIdx   []int32 // per step k: columns j>k of the pivot row
+	lpatPtr, lpatIdx   []int32 // per row i: its L columns, for forward solves
+	fillIdx            []int32 // every permuted flat position the factor touches
+	permSign           int     // parity of rowOrder ∘ colOrder⁻¹, for Det
 }
 
 // N returns the system dimension.
@@ -200,7 +206,31 @@ func Analyze(p *Pattern) *Symbolic {
 		N: n, NNZ: len(s.nnzIdx), FillNNZ: len(s.nnzIdx),
 		Density: float64(len(s.nnzIdx)) / float64(max(1, n*n)),
 	}
+	s.initMulIdx()
 	return s
+}
+
+// initMulIdx builds the CSR view of nnzIdx (row offsets + per-entry
+// column) that MulVecInto iterates. nnzIdx is sorted row-major, so the
+// CSR walk visits entries in exactly the same order as a flat scan —
+// the accumulation order, and hence the result, is unchanged.
+func (s *Symbolic) initMulIdx() {
+	n := s.n
+	s.mulPtr = make([]int32, n+1)
+	s.mulCol = make([]int32, len(s.nnzIdx))
+	row := 0
+	for t, idx := range s.nnzIdx {
+		i, j := int(idx)/n, int(idx)%n
+		for row < i {
+			row++
+			s.mulPtr[row] = int32(t)
+		}
+		s.mulCol[t] = int32(j)
+	}
+	for row < n {
+		row++
+		s.mulPtr[row] = int32(len(s.nnzIdx))
+	}
 }
 
 func max(a, b int) int {
@@ -254,9 +284,9 @@ func AnalyzeOrdered(p *Pattern) (*Symbolic, error) {
 
 	s.rowOrder = make([]int32, n)
 	s.colOrder = make([]int32, n)
-	s.lrows = make([][]int32, n)
-	s.ucols = make([][]int32, n)
-	s.lpat = make([][]int32, n)
+	lrows := make([][]int32, n)
+	ucols := make([][]int32, n)
+	lpat := make([][]int32, n)
 	posOfRow := make([]int32, n)
 	fillNNZ := 0
 	for k := 0; k < n; k++ {
@@ -342,8 +372,8 @@ func AnalyzeOrdered(p *Pattern) (*Symbolic, error) {
 				colPat[int(c)*w+(int(r)>>6)] |= 1 << uint(int(r)&63)
 			}
 		}
-		s.ucols[k] = uOrig     // original ids; remapped below
-		s.lrows[k] = lOrigRows // original ids; remapped below
+		ucols[k] = uOrig     // original ids; remapped below
+		lrows[k] = lOrigRows // original ids; remapped below
 		fillNNZ += len(uOrig) + 1 + len(lOrigRows)
 	}
 
@@ -353,18 +383,35 @@ func AnalyzeOrdered(p *Pattern) (*Symbolic, error) {
 		posOfCol[c] = int32(k)
 	}
 	for k := 0; k < n; k++ {
-		u := s.ucols[k]
+		u := ucols[k]
 		for i, c := range u {
 			u[i] = posOfCol[c]
 		}
 		sortInt32(u)
-		lr := s.lrows[k]
+		lr := lrows[k]
 		for i, r := range lr {
 			lr[i] = posOfRow[r]
 		}
 		sortInt32(lr)
 		for _, i := range lr {
-			s.lpat[i] = append(s.lpat[i], int32(k))
+			lpat[i] = append(lpat[i], int32(k))
+		}
+	}
+	// Flatten the per-step/per-row lists to CSR and record every permuted
+	// position the numeric factor touches — the diagonal, each step's U
+	// row segment, and each step's L column segment cover all of L+U
+	// exactly once — so the factor zeroes fillNNZ slots, not n².
+	s.lrowPtr, s.lrowIdx = flattenCSR(lrows)
+	s.ucolPtr, s.ucolIdx = flattenCSR(ucols)
+	s.lpatPtr, s.lpatIdx = flattenCSR(lpat)
+	s.fillIdx = make([]int32, 0, fillNNZ)
+	for k := 0; k < n; k++ {
+		s.fillIdx = append(s.fillIdx, int32(k*n+k))
+		for _, j := range ucols[k] {
+			s.fillIdx = append(s.fillIdx, int32(k*n+int(j)))
+		}
+		for _, i := range lrows[k] {
+			s.fillIdx = append(s.fillIdx, int32(int(i)*n+k))
 		}
 	}
 	s.scatterDst = make([]int32, len(s.nnzIdx))
@@ -378,7 +425,24 @@ func AnalyzeOrdered(p *Pattern) (*Symbolic, error) {
 		Density: float64(fillNNZ) / float64(max(1, n*n)),
 		Ordered: true,
 	}
+	s.initMulIdx()
 	return s, nil
+}
+
+// flattenCSR packs a ragged [][]int32 into ptr/idx arrays: row k's
+// entries live in idx[ptr[k]:ptr[k+1]].
+func flattenCSR(rows [][]int32) (ptr, idx []int32) {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	ptr = make([]int32, len(rows)+1)
+	idx = make([]int32, 0, total)
+	for k, r := range rows {
+		idx = append(idx, r...)
+		ptr[k+1] = int32(len(idx))
+	}
+	return ptr, idx
 }
 
 func sortInt32(v []int32) {
@@ -628,8 +692,10 @@ func (f *SparseLU) factorOrdered(a *Matrix) error {
 	s := f.sym
 	n := s.n
 	data := f.lu.Data
-	for i := range data {
-		data[i] = 0
+	// Only the recorded L+U positions are ever read or written; zeroing
+	// just those beats wiping the whole n² slab every refactor.
+	for _, idx := range s.fillIdx {
+		data[idx] = 0
 	}
 	maxAbs := 0.0
 	for t, idx := range s.nnzIdx {
@@ -650,8 +716,8 @@ func (f *SparseLU) factorOrdered(a *Matrix) error {
 		}
 		inv := 1 / pv
 		rowK := data[k*n : (k+1)*n]
-		uc := s.ucols[k]
-		for _, ii := range s.lrows[k] {
+		uc := s.ucolIdx[s.ucolPtr[k]:s.ucolPtr[k+1]]
+		for _, ii := range s.lrowIdx[s.lrowPtr[k]:s.lrowPtr[k+1]] {
 			i := int(ii)
 			l := data[i*n+k] * inv
 			data[i*n+k] = l
@@ -817,7 +883,7 @@ func (f *SparseLU) SolveInto(x, b []float64) {
 		for i := 1; i < n; i++ {
 			row := data[i*n : (i+1)*n]
 			acc := xp[i]
-			for _, k := range s.lpat[i] {
+			for _, k := range s.lpatIdx[s.lpatPtr[i]:s.lpatPtr[i+1]] {
 				acc -= row[k] * xp[k]
 			}
 			xp[i] = acc
@@ -825,7 +891,7 @@ func (f *SparseLU) SolveInto(x, b []float64) {
 		for i := n - 1; i >= 0; i-- {
 			row := data[i*n : (i+1)*n]
 			acc := xp[i]
-			for _, j := range s.ucols[i] {
+			for _, j := range s.ucolIdx[s.ucolPtr[i]:s.ucolPtr[i+1]] {
 				acc -= row[j] * xp[j]
 			}
 			xp[i] = acc / row[i]
@@ -896,11 +962,12 @@ func (s *Symbolic) MulVecInto(y []float64, a *Matrix, x []float64) {
 	if len(y) != n || len(x) != n || a.Rows != n || a.Cols != n {
 		panic("la: MulVecInto dimension mismatch")
 	}
-	for i := range y {
-		y[i] = 0
-	}
-	for _, idx := range s.nnzIdx {
-		i, j := int(idx)/n, int(idx)%n
-		y[i] += a.Data[idx] * x[j]
+	data := a.Data
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for t := s.mulPtr[i]; t < s.mulPtr[i+1]; t++ {
+			acc += data[s.nnzIdx[t]] * x[s.mulCol[t]]
+		}
+		y[i] = acc
 	}
 }

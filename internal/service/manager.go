@@ -9,6 +9,7 @@ import (
 
 	"pipesyn/internal/core"
 	"pipesyn/internal/sched"
+	"pipesyn/internal/sim"
 	"pipesyn/internal/synth"
 )
 
@@ -648,6 +649,7 @@ func (m *Manager) Snapshot() Snapshot {
 		snap.CacheHits = cs.Hits
 		snap.CacheMisses = cs.Misses
 	}
+	snap.Kernel = sim.ReadKernelStats()
 	return snap
 }
 

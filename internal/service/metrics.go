@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"pipesyn/internal/sim"
 )
 
 // evalBuckets are the upper bounds (seconds) of the evaluation-latency
@@ -75,7 +77,8 @@ type Snapshot struct {
 	PoolWorkers   int
 	CacheHits     int64
 	CacheMisses   int64
-	Journal       JournalStats // zero value when no journal is configured
+	Journal       JournalStats    // zero value when no journal is configured
+	Kernel        sim.KernelStats // process-wide simulation-kernel counters
 	Draining      bool
 }
 
@@ -140,6 +143,28 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "adcsynd_journal_compactions_total %d\n", snap.Journal.Compactions)
 	counter("adcsynd_journal_errors_total", "Journal append/fsync failures (durability degraded).")
 	fmt.Fprintf(w, "adcsynd_journal_errors_total %d\n", snap.Journal.Errors)
+
+	counter("adcsynd_kernel_factorizations_total", "Simulation-kernel numeric factorizations, by whether the Newton solve performed or reused one.")
+	fmt.Fprintf(w, "adcsynd_kernel_factorizations_total{event=%q} %d\n", "performed", snap.Kernel.Factorizations)
+	fmt.Fprintf(w, "adcsynd_kernel_factorizations_total{event=%q} %d\n", "reused", snap.Kernel.ReusedSolves)
+
+	counter("adcsynd_kernel_reuse_fallbacks_total", "Newton-reuse divergences that re-ran the iteration with full Newton.")
+	fmt.Fprintf(w, "adcsynd_kernel_reuse_fallbacks_total %d\n", snap.Kernel.ReuseFallbacks)
+
+	counter("adcsynd_kernel_ordered_fallbacks_total", "Static-ordered factorizations that hit a zero pivot and dropped to partial pivoting.")
+	fmt.Fprintf(w, "adcsynd_kernel_ordered_fallbacks_total %d\n", snap.Kernel.OrderedFallbacks)
+
+	fmt.Fprintf(w, "# HELP adcsynd_kernel_batch_width Candidates per shared-kernel simulation batch.\n")
+	fmt.Fprintf(w, "# TYPE adcsynd_kernel_batch_width histogram\n")
+	bcum := int64(0)
+	for i, ub := range sim.KernelBatchWidthBounds {
+		bcum += snap.Kernel.BatchWidths[i]
+		fmt.Fprintf(w, "adcsynd_kernel_batch_width_bucket{le=%q} %d\n", fmt.Sprintf("%d", ub), bcum)
+	}
+	bcum += snap.Kernel.BatchWidths[len(sim.KernelBatchWidthBounds)]
+	fmt.Fprintf(w, "adcsynd_kernel_batch_width_bucket{le=\"+Inf\"} %d\n", bcum)
+	fmt.Fprintf(w, "adcsynd_kernel_batch_width_sum %d\n", snap.Kernel.BatchWidthSum)
+	fmt.Fprintf(w, "adcsynd_kernel_batch_width_count %d\n", bcum)
 
 	gauge("adcsynd_draining", "1 while the daemon is draining for shutdown.")
 	d := 0

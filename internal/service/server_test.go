@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"pipesyn/internal/netlist"
 	"pipesyn/internal/service"
+	"pipesyn/internal/sim"
 	"pipesyn/internal/synth"
 	"pipesyn/internal/testutil"
 )
@@ -477,6 +479,17 @@ func TestServiceMetricsScrape(t *testing.T) {
 	ts := httptest.NewServer(service.NewServer(man))
 	defer ts.Close()
 
+	// The kernel counters are process-global; equation-mode studies never
+	// touch the simulator, so drive one tiny OP directly to guarantee the
+	// scrape has nonzero factorization counts to render.
+	ckt, err := netlist.Parse("* divider\nV1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.OP(ckt, sim.DCOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
 	_, sub := postStudy(t, ts, tinyStudy(10))
 	waitState(t, ts, sub.ID, service.StateDone)
 	// An identical re-submission is NOT deduped (the first is terminal)
@@ -508,11 +521,22 @@ func TestServiceMetricsScrape(t *testing.T) {
 		"adcsynd_synth_cache_hits_total",
 		"adcsynd_synth_cache_misses_total",
 		"adcsynd_eval_duration_seconds_count",
+		`adcsynd_kernel_factorizations_total{event="performed"}`,
+		`adcsynd_kernel_factorizations_total{event="reused"}`,
+		"adcsynd_kernel_reuse_fallbacks_total",
+		"adcsynd_kernel_ordered_fallbacks_total",
+		`adcsynd_kernel_batch_width_bucket{le="+Inf"}`,
+		"adcsynd_kernel_batch_width_sum",
+		"adcsynd_kernel_batch_width_count",
 		"adcsynd_draining 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+	// The OP above performed at least one factorization.
+	if strings.Contains(text, `adcsynd_kernel_factorizations_total{event="performed"} 0`) {
+		t.Error("kernel factorization counter is zero after a direct OP")
 	}
 	if t.Failed() {
 		t.Logf("scrape:\n%s", text)

@@ -64,6 +64,8 @@ func NewBatch(circuits []*netlist.Circuit) (*Batch, error) {
 		},
 		mos: cc.mos, sw: cc.switches, phaseG: cc.phaseG,
 	}
+	allParams := make([][]device.MOSParams, len(circuits))
+	allParams[0] = orderedMOSParams(circuits[0], cc.mos)
 	for i := 1; i < len(circuits); i++ {
 		c := circuits[i]
 		if err := sameStructure(circuits[0], c); err != nil {
@@ -73,14 +75,47 @@ func NewBatch(circuits []*netlist.Circuit) (*Batch, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: batch candidate %d: %w", i, err)
 		}
+		kv, mp := buildViews(c, cc.layout, mos, sw)
+		allParams[i] = mp
 		bt.cands[i] = batchCand{
 			circuit: c,
-			views:   buildViews(c, cc.layout, mos, sw),
+			views:   kv,
 			mos:     mos, sw: sw,
 			phaseG: map[int]*la.Matrix{},
 		}
 	}
+	// Pack every candidate's MOS parameters into one shared SoA slab,
+	// candidate-major, in a single pass: loading candidate i then swaps
+	// only the flat base offset, and its Newton iterations stream the
+	// contiguous region [i·D, (i+1)·D).
+	devs := len(cc.mosElems)
+	pb := device.NewParamsBatch(len(circuits), devs)
+	for i, mp := range allParams {
+		for j := range mp {
+			pb.Set(i, j, &mp[j])
+		}
+	}
+	for i := range bt.cands {
+		bt.cands[i].views.mosPB = pb
+		bt.cands[i].views.mosBase = i * devs
+	}
+	// load(0) is a no-op (cur starts at 0), so install candidate 0's view
+	// of the shared slab directly.
+	cc.mosPB, cc.mosBase = pb, 0
+	observeBatchWidth(len(circuits))
 	return bt, nil
+}
+
+// orderedMOSParams returns a circuit's MOS parameters in element order —
+// the same order buildViews appends mosElems.
+func orderedMOSParams(c *netlist.Circuit, mos map[string]device.MOSParams) []device.MOSParams {
+	var mp []device.MOSParams
+	for _, e := range c.Elements {
+		if e.Type == netlist.MOS {
+			mp = append(mp, mos[e.Name])
+		}
+	}
+	return mp
 }
 
 // sameStructure checks that two circuits share a topology: identical

@@ -98,6 +98,13 @@ func OP(c *netlist.Circuit, opts DCOpts) (*DCResult, error) {
 // workspaces instead of re-compiling the netlist.
 func opCompiled(cc *compiled, opts DCOpts) (*DCResult, error) {
 	opts.defaults()
+	// Re-arm the ordered-pivot fast path for this analysis and publish the
+	// locally accumulated kernel counters when it finishes. The workspace
+	// is created eagerly so batch candidates behave identically regardless
+	// of load order.
+	ws := cc.dcWS()
+	ws.lu.reset()
+	defer ws.lu.flush()
 	x := make([]float64, cc.layout.Size)
 	totalIter := 0
 
@@ -187,6 +194,7 @@ func newton(cc *compiled, x0 []float64, gmin, srcScale float64, opts DCOpts) ([]
 		// Divergence fallback: retry with plain full Newton before the
 		// caller walks the continuation ladders.
 		if _, diverged := err.(*ConvergenceError); diverged {
+			ws.lu.fallbacks++
 			sol2, n2, err2 := newtonLoop(cc, ws, x0, opts, false)
 			return sol2, n + n2, err2
 		}

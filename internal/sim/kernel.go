@@ -16,8 +16,10 @@ import (
 )
 
 // mosElem is a MOS transistor with its terminals resolved to MNA rows.
+// Its parameters live in the kernel's SoA ParamsBatch slab (see
+// kernelViews.mosPB); element i of a candidate reads slab index
+// mosBase+i.
 type mosElem struct {
-	par        device.MOSParams
 	d, g, s, b int
 }
 
@@ -47,6 +49,8 @@ type srcElem struct {
 // across a Batch; the values inside are what distinguish candidates.
 type kernelViews struct {
 	mosElems []mosElem
+	mosPB    *device.ParamsBatch // SoA MOS parameter slab (shared in a Batch)
+	mosBase  int                 // this candidate's flat offset into mosPB
 	capElems []capElem
 	swElems  []swElem
 	srcElems []srcElem
@@ -54,12 +58,16 @@ type kernelViews struct {
 }
 
 // buildViews assembles the element views and constant stamp for a
-// circuit against a fixed layout. The single entry point keeps every
-// candidate's assembly order identical, so Batch results are
-// bit-identical to a standalone compile of the same circuit.
+// circuit against a fixed layout, returning the MOS parameters in
+// element order for the caller to pack into a ParamsBatch slab (a solo
+// compile packs width 1; NewBatch packs all candidates into one slab).
+// The single entry point keeps every candidate's assembly order
+// identical, so Batch results are bit-identical to a standalone compile
+// of the same circuit.
 func buildViews(c *netlist.Circuit, l *Layout,
-	mos map[string]device.MOSParams, switches map[string]device.SwitchParams) kernelViews {
+	mos map[string]device.MOSParams, switches map[string]device.SwitchParams) (kernelViews, []device.MOSParams) {
 	var kv kernelViews
+	var mp []device.MOSParams
 	kv.constG = la.NewMatrix(l.Size, l.Size)
 	for _, e := range c.Elements {
 		switch e.Type {
@@ -86,17 +94,28 @@ func buildViews(c *netlist.Circuit, l *Layout,
 			stampVCCS(kv.constG, l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]), e.Value)
 		case netlist.MOS:
 			kv.mosElems = append(kv.mosElems, mosElem{
-				mos[e.Name],
 				l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]),
 			})
+			mp = append(mp, mos[e.Name])
 		}
 	}
-	return kv
+	return kv, mp
+}
+
+// packSolo packs one candidate's MOS parameters as a width-1 slab.
+func packSolo(params []device.MOSParams) *device.ParamsBatch {
+	pb := device.NewParamsBatch(1, len(params))
+	for j := range params {
+		pb.Set(0, j, &params[j])
+	}
+	return pb
 }
 
 // setViews installs a candidate's views into the compiled kernel.
 func (cc *compiled) setViews(kv kernelViews) {
 	cc.mosElems = kv.mosElems
+	cc.mosPB = kv.mosPB
+	cc.mosBase = kv.mosBase
 	cc.capElems = kv.capElems
 	cc.swElems = kv.swElems
 	cc.srcElems = kv.srcElems
@@ -104,10 +123,23 @@ func (cc *compiled) setViews(kv kernelViews) {
 }
 
 // buildKernel populates the compiled circuit's element views and the
-// constant stamp. Called once from compile.
+// constant stamp, and runs both symbolic analyses: the partial-pivot one
+// (required by the complex AC solver and kept as the numeric fallback)
+// and, when the pattern admits one, the static-ordered analysis the
+// Newton loops prefer. Called once from compile.
 func (cc *compiled) buildKernel() {
-	cc.setViews(buildViews(cc.circuit, cc.layout, cc.mos, cc.switches))
-	cc.sym = la.Analyze(cc.buildPattern())
+	kv, params := buildViews(cc.circuit, cc.layout, cc.mos, cc.switches)
+	kv.mosPB = packSolo(params)
+	cc.setViews(kv)
+	pat := cc.buildPattern(true)
+	cc.sym = la.Analyze(pat)
+	// Base-only pattern (no MOS positions): the direct-residual path
+	// multiplies the step baseline, whose MOS entries are structurally
+	// zero, so its mat-vec skips them entirely.
+	cc.symBase = la.Analyze(cc.buildPattern(false))
+	if sym, err := la.AnalyzeOrdered(pat); err == nil {
+		cc.symOrd = sym
+	}
 }
 
 // buildPattern marks every matrix position any analysis can stamp for
@@ -116,7 +148,10 @@ func (cc *compiled) buildKernel() {
 // (backward-Euler/trapezoidal in transient, jωC in AC). The pattern is
 // structural — derived from element incidence, never from assembled
 // values, so stamps that numerically cancel still count as live.
-func (cc *compiled) buildPattern() *la.Pattern {
+// With includeMOS false it covers only the baseline assemblies (constant
+// stamp + switches + gmin + fixed-cap companions), the pattern the
+// direct-residual mat-vec runs over.
+func (cc *compiled) buildPattern(includeMOS bool) *la.Pattern {
 	l := cc.layout
 	p := la.NewPattern(l.Size)
 	markCond := func(a, b int) {
@@ -154,6 +189,9 @@ func (cc *compiled) buildPattern() *la.Pattern {
 		case netlist.VCCS:
 			markVCCS(l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3]))
 		case netlist.MOS:
+			if !includeMOS {
+				continue
+			}
 			d, g, s, b := l.idx(e.Nodes[0]), l.idx(e.Nodes[1]), l.idx(e.Nodes[2]), l.idx(e.Nodes[3])
 			markVCCS(d, s, g, s) // gm
 			markCond(d, s)       // gds
@@ -194,10 +232,11 @@ func (cc *compiled) phaseBase(phase int) *la.Matrix {
 // matrix work repeated at every Newton iteration of the DC solver.
 func stampMOS(cc *compiled, a *la.Matrix, b []float64, x []float64) {
 	var op device.OP
+	pb, base := cc.mosPB, cc.mosBase
 	for i := range cc.mosElems {
 		m := &cc.mosElems[i]
 		vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
-		m.par.EvalInto(&op, vd, vg, vs, vb)
+		pb.EvalInto(&op, base+i, vd, vg, vs, vb)
 		stampVCCS(a, m.d, m.s, m.g, m.s, op.GM)
 		stampConductance(a, m.d, m.s, op.GDS)
 		stampVCCS(a, m.d, m.s, m.b, m.s, op.GMB)
@@ -211,10 +250,11 @@ func stampMOS(cc *compiled, a *la.Matrix, b []float64, x []float64) {
 // terminal capacitances referenced to the previous accepted step.
 func stampMOSTran(cc *compiled, a *la.Matrix, b []float64, x, xPrev []float64, h float64) {
 	var op device.OP
+	pb, base := cc.mosPB, cc.mosBase
 	for i := range cc.mosElems {
 		m := &cc.mosElems[i]
 		vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
-		m.par.EvalInto(&op, vd, vg, vs, vb)
+		pb.EvalInto(&op, base+i, vd, vg, vs, vb)
 		stampVCCS(a, m.d, m.s, m.g, m.s, op.GM)
 		stampConductance(a, m.d, m.s, op.GDS)
 		stampVCCS(a, m.d, m.s, m.b, m.s, op.GMB)
@@ -245,9 +285,10 @@ func stampSources(cc *compiled, b []float64, t float64) {
 }
 
 // dcWorkspace holds every buffer the DC Newton loop touches, so an
-// iteration performs zero heap allocations. The factorization runs on
-// the compiled circuit's symbolic analysis (bit-identical to dense LU);
-// r and d are the residual/step scratch of the modified-Newton path.
+// iteration performs zero heap allocations. The factorization runs
+// through the kernelLU (static-ordered when available, partial-pivot
+// fallback); r and d are the residual/step scratch of the
+// modified-Newton path.
 type dcWorkspace struct {
 	base  *la.Matrix // baseline for this newton call: const + gmin + switches
 	baseB []float64  // scaled independent-source RHS
@@ -257,7 +298,7 @@ type dcWorkspace struct {
 	xNew  []float64
 	r     []float64
 	d     []float64
-	slu   *la.SparseLU
+	lu    *kernelLU
 }
 
 func (cc *compiled) dcWS() *dcWorkspace {
@@ -268,7 +309,7 @@ func (cc *compiled) dcWS() *dcWorkspace {
 			a: la.NewMatrix(n, n), b: make([]float64, n),
 			x: make([]float64, n), xNew: make([]float64, n),
 			r: make([]float64, n), d: make([]float64, n),
-			slu: la.NewSparseLU(cc.sym),
+			lu: newKernelLU(cc),
 		}
 	}
 	return cc.dcws
@@ -305,37 +346,57 @@ func (ws *dcWorkspace) iterate(cc *compiled) error {
 	copy(ws.a.Data, ws.base.Data)
 	copy(ws.b, ws.baseB)
 	stampMOS(cc, ws.a, ws.b, ws.x)
-	if err := ws.slu.NumericFactor(ws.a); err != nil {
+	if err := ws.lu.factor(ws.a); err != nil {
 		return err
 	}
-	ws.slu.SolveInto(ws.xNew, ws.b)
+	ws.lu.solveInto(ws.xNew, ws.b)
 	return nil
 }
 
-// iterateReuse is the modified-Newton (Shamanskii) variant: the system
-// is stamped fresh, but when refactor is false the previous
-// factorization is reused and only a delta solve runs —
-// xNew = x − M⁻¹·(A·x − b) with M the stale factor. With refactor true
-// the factorization is refreshed and a direct solve runs (identical to
-// the delta solve with a fresh factor, minus the residual mat-vec).
+// iterateReuse is the modified-Newton (Shamanskii) variant. With
+// refactor true the system is stamped fresh, factored, and solved
+// directly. With refactor false the previous factorization is reused
+// for a delta solve — xNew = x − M⁻¹·f(x) with M the stale factor — and
+// the residual f(x) is evaluated directly (residualDC), skipping the
+// matrix assembly entirely: a stale-factor iteration never reads the
+// Jacobian, only the residual.
 func (ws *dcWorkspace) iterateReuse(cc *compiled, refactor bool) error {
-	copy(ws.a.Data, ws.base.Data)
-	copy(ws.b, ws.baseB)
-	stampMOS(cc, ws.a, ws.b, ws.x)
 	if refactor {
-		if err := ws.slu.NumericFactor(ws.a); err != nil {
+		copy(ws.a.Data, ws.base.Data)
+		copy(ws.b, ws.baseB)
+		stampMOS(cc, ws.a, ws.b, ws.x)
+		if err := ws.lu.factor(ws.a); err != nil {
 			return err
 		}
-		ws.slu.SolveInto(ws.xNew, ws.b)
+		ws.lu.solveInto(ws.xNew, ws.b)
 		return nil
 	}
-	cc.sym.MulVecInto(ws.r, ws.a, ws.x)
-	for i := range ws.r {
-		ws.r[i] -= ws.b[i]
-	}
-	ws.slu.SolveInto(ws.d, ws.r)
+	ws.lu.reused++
+	ws.residualDC(cc)
+	ws.lu.solveInto(ws.d, ws.r)
 	for i := range ws.xNew {
 		ws.xNew[i] = ws.x[i] - ws.d[i]
 	}
 	return nil
+}
+
+// residualDC evaluates the nonlinear DC residual f(x) at ws.x into ws.r
+// without assembling the Newton system: in A(x)·x − b(x) each MOS
+// companion's matrix terms cancel algebraically against its RHS
+// contribution, leaving the raw drain current, so
+// f(x) = base·x − baseB + Σ (±ID) at each device's drain/source rows.
+func (ws *dcWorkspace) residualDC(cc *compiled) {
+	cc.symBase.MulVecInto(ws.r, ws.base, ws.x)
+	for i := range ws.r {
+		ws.r[i] -= ws.baseB[i]
+	}
+	var op device.OP
+	pb, base := cc.mosPB, cc.mosBase
+	for i := range cc.mosElems {
+		m := &cc.mosElems[i]
+		vd, vg, vs, vb := nodeV(ws.x, m.d), nodeV(ws.x, m.g), nodeV(ws.x, m.s), nodeV(ws.x, m.b)
+		pb.EvalInto(&op, base+i, vd, vg, vs, vb)
+		addRHS(ws.r, m.d, op.ID)
+		addRHS(ws.r, m.s, -op.ID)
+	}
 }

@@ -87,12 +87,16 @@ type compiled struct {
 	switches map[string]device.SwitchParams
 
 	mosElems []mosElem
+	mosPB    *device.ParamsBatch // SoA MOS parameter slab (shared across a Batch)
+	mosBase  int                 // current candidate's flat offset into mosPB
 	capElems []capElem
 	swElems  []swElem
 	srcElems []srcElem
 	constG   *la.Matrix         // R/VCVS/VCCS/V-branch stamps: no gmin, no switches
 	phaseG   map[int]*la.Matrix // constG + switch conductances, per clock phase
 	sym      *la.Symbolic       // sparsity analysis of the full MNA stamp union
+	symBase  *la.Symbolic       // baseline-only pattern for the residual mat-vec
+	symOrd   *la.Symbolic       // static-ordered analysis, nil if no safe order
 	dcws     *dcWorkspace
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pipesyn/internal/device"
 	"pipesyn/internal/la"
 	"pipesyn/internal/netlist"
 )
@@ -134,7 +135,7 @@ type tranRun struct {
 	xNew  []float64
 	r     []float64 // modified-Newton residual scratch
 	d     []float64 // modified-Newton step scratch
-	slu   *la.SparseLU
+	lu    *kernelLU
 
 	// Modified-Newton factorization state, carried across time steps:
 	// within a clock phase at a fixed step width the Jacobian drifts
@@ -153,7 +154,7 @@ func newTranRun(cc *compiled, opts TranOpts, x0 []float64) *tranRun {
 		a: la.NewMatrix(n, n), b: make([]float64, n),
 		xNew: make([]float64, n),
 		r:    make([]float64, n), d: make([]float64, n),
-		slu: la.NewSparseLU(cc.sym),
+		lu: newKernelLU(cc),
 	}
 	tr.caps = make([]capRun, len(cc.capElems))
 	for i, ce := range cc.capElems {
@@ -195,9 +196,11 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 	}
 	stampSources(cc, tr.stepB, t)
 	copy(dst, xFrom)
-	if phase != tr.lastPhase || h != tr.lastH {
+	if phase != tr.lastPhase || math.Abs(h-tr.lastH) > 1e-9*h {
 		// Switch conductances or companion weights changed: any carried
-		// factorization is far from the new Jacobian.
+		// factorization is far from the new Jacobian. The width test is
+		// tolerant because the fixed-step driver's t−tPrev jitters by an
+		// ulp between steps; a same-width stale factor is as good as ever.
 		tr.haveFactor = false
 	}
 	tr.lastPhase, tr.lastH = phase, h
@@ -206,6 +209,7 @@ func (tr *tranRun) solveStep(dst, xFrom []float64, t, h float64, method Integrat
 		// Divergence fallback: a stale factorization can stall on hard
 		// steps; rerun the step with plain full Newton before the caller
 		// resorts to halving.
+		tr.lu.fallbacks++
 		tr.haveFactor = false
 		copy(dst, xFrom)
 		err = tr.newtonLoop(dst, xFrom, t, h, false)
@@ -224,37 +228,40 @@ func (tr *tranRun) newtonLoop(dst, xFrom []float64, t, h float64, reuse bool) er
 	worstIdx, worstDelta := -1, 0.0
 	lastStep, prevStep := math.Inf(1), math.Inf(1)
 	for it := 0; it < tr.opts.MaxNewton; it++ {
-		copy(tr.a.Data, tr.stepA.Data)
-		copy(tr.b, tr.stepB)
-		stampMOSTran(cc, tr.a, tr.b, dst, xFrom, h)
 		if !reuse {
-			if err := tr.slu.NumericFactor(tr.a); err != nil {
+			copy(tr.a.Data, tr.stepA.Data)
+			copy(tr.b, tr.stepB)
+			stampMOSTran(cc, tr.a, tr.b, dst, xFrom, h)
+			if err := tr.lu.factor(tr.a); err != nil {
 				return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
 			}
 			tr.haveFactor = true
 			tr.reuseCount = 0
-			tr.slu.SolveInto(tr.xNew, tr.b)
+			tr.lu.solveInto(tr.xNew, tr.b)
 		} else {
 			// Refresh when no factorization is carried, after a bounded
 			// number of stale solves, or when the iteration stops
 			// contracting (the stale factor has drifted too far).
-			refactor := !tr.haveFactor || tr.reuseCount >= 20 || lastStep > 0.5*prevStep
+			refactor := !tr.haveFactor || tr.reuseCount >= 50 || lastStep > 0.5*prevStep
 			if refactor {
-				if err := tr.slu.NumericFactor(tr.a); err != nil {
+				copy(tr.a.Data, tr.stepA.Data)
+				copy(tr.b, tr.stepB)
+				stampMOSTran(cc, tr.a, tr.b, dst, xFrom, h)
+				if err := tr.lu.factor(tr.a); err != nil {
 					return fmt.Errorf("sim: singular matrix at t=%g: %w", t, err)
 				}
 				tr.haveFactor = true
 				tr.reuseCount = 0
 				// Fresh factor: the direct solve equals the delta solve
 				// and skips the residual mat-vec.
-				tr.slu.SolveInto(tr.xNew, tr.b)
+				tr.lu.solveInto(tr.xNew, tr.b)
 			} else {
+				// Stale factor: only the residual is needed, and it is
+				// evaluated directly (residualTran) — no matrix assembly.
 				tr.reuseCount++
-				cc.sym.MulVecInto(tr.r, tr.a, dst)
-				for i := range tr.r {
-					tr.r[i] -= tr.b[i]
-				}
-				tr.slu.SolveInto(tr.d, tr.r)
+				tr.lu.reused++
+				tr.residualTran(tr.r, dst, xFrom, h)
+				tr.lu.solveInto(tr.d, tr.r)
 				for i := range tr.xNew {
 					tr.xNew[i] = dst[i] - tr.d[i]
 				}
@@ -293,6 +300,47 @@ func (tr *tranRun) newtonLoop(dst, xFrom []float64, t, h float64, reuse bool) er
 		Analysis: "transient", Time: t, Iterations: tr.opts.MaxNewton,
 		WorstNode: worst, WorstDelta: worstDelta,
 	}
+}
+
+// residualTran evaluates the nonlinear step residual f(x) at x into r
+// without assembling the Newton system. In A(x)·x − b(x) each MOS
+// companion's matrix terms cancel algebraically against its RHS
+// contribution, leaving the raw drain current, and each Meyer-cap BE
+// companion reduces to geq·(Δv − Δvprev): so
+// f(x) = stepA·x − stepB + device currents. Stale-factor delta solves
+// only need this residual, which is what makes skipping the full stamp
+// on reuse iterations legal.
+func (tr *tranRun) residualTran(r, x, xPrev []float64, h float64) {
+	cc := tr.cc
+	cc.symBase.MulVecInto(r, tr.stepA, x)
+	for i := range r {
+		r[i] -= tr.stepB[i]
+	}
+	var op device.OP
+	pb, base := cc.mosPB, cc.mosBase
+	for i := range cc.mosElems {
+		m := &cc.mosElems[i]
+		vd, vg, vs, vb := nodeV(x, m.d), nodeV(x, m.g), nodeV(x, m.s), nodeV(x, m.b)
+		pb.EvalInto(&op, base+i, vd, vg, vs, vb)
+		addRHS(r, m.d, op.ID)
+		addRHS(r, m.s, -op.ID)
+		capResidual(r, m.g, m.s, op.CGS, x, xPrev, h)
+		capResidual(r, m.g, m.d, op.CGD, x, xPrev, h)
+		capResidual(r, m.g, m.b, op.CGB, x, xPrev, h)
+		capResidual(r, m.d, m.b, op.CDB, x, xPrev, h)
+		capResidual(r, m.s, m.b, op.CSB, x, xPrev, h)
+	}
+}
+
+// capResidual adds a BE device-capacitance current c/h·(Δv − Δvprev) to
+// the residual (the algebraic reduction of stampMOSCap's companion).
+func capResidual(r []float64, p, n int, c float64, x, xPrev []float64, h float64) {
+	if c <= 0 {
+		return
+	}
+	i := (c / h) * ((nodeV(x, p) - nodeV(x, n)) - (nodeV(xPrev, p) - nodeV(xPrev, n)))
+	addRHS(r, p, i)
+	addRHS(r, n, -i)
 }
 
 // commitCaps advances the capacitor companion memory to the accepted
@@ -375,6 +423,7 @@ func tranCompiled(cc *compiled, opts TranOpts) (*TranResult, error) {
 	}
 
 	run := newTranRun(cc, opts, x)
+	defer run.lu.flush()
 
 	steps := int(math.Round(opts.TStop/opts.TStep)) + 1
 	res := &TranResult{T: make([]float64, 0, steps), V: map[string][]float64{}}

@@ -69,11 +69,14 @@ func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 		// BatchEval changes the annealing trajectory only when >1, and
 		// keys minted before the knob existed must stay valid, so the
 		// field is omitted from the serialized form at its default.
-		BatchEval int `json:",omitempty"`
+		// NewtonReuse follows the same pattern: the tolerance-contracted
+		// reuse path can shift the trajectory, so it keys only when on.
+		BatchEval   int  `json:",omitempty"`
+		NewtonReuse bool `json:",omitempty"`
 	}
 	kf := keyFields{spec, procName, opts.Seed, opts.MaxEvals, opts.PatternIter,
 		opts.Restarts, opts.InitTemp, opts.CoolRate, opts.PenaltyW,
-		int(opts.Mode), int(opts.Topology), 0}
+		int(opts.Mode), int(opts.Topology), 0, opts.NewtonReuse}
 	if opts.BatchEval > 1 {
 		kf.BatchEval = opts.BatchEval
 	}

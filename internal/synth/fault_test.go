@@ -96,6 +96,35 @@ func TestSynthesizeCancelPrompt(t *testing.T) {
 	}
 }
 
+// TestSynthesizeBatchReuseCancel: cancelling a hybrid-mode search that
+// runs batched moves (BatchEval > 1) on the reuse-Newton solver path
+// must stop within one batch granule and leak nothing — the lane where
+// the shared warm kernel, persistent reuse state, and cancellation all
+// meet (run under -race in CI).
+func TestSynthesizeBatchReuseCancel(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	spec, proc := lateStageSpec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		cancel()
+	}()
+	startT := time.Now()
+	res, err := Synthesize(ctx, spec, proc, Options{
+		Seed: 23, MaxEvals: 100000, PatternIter: 50000,
+		Mode: hybrid.Hybrid, BatchEval: 4, NewtonReuse: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled synthesis returned a result: %+v", res)
+	}
+	if elapsed := time.Since(startT); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want within one batch granule", elapsed)
+	}
+}
+
 // TestSynthesizeDeadlineParallelRestarts: a deadline must tear down a
 // pooled multi-restart study — every worker parked in a stalled
 // evaluation — promptly and without goroutine leaks.

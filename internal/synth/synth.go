@@ -47,6 +47,13 @@ type Options struct {
 	// kernel amortization and follow a different (still deterministic)
 	// trajectory, so the value is part of the cache key only when >1.
 	BatchEval int
+	// NewtonReuse turns on the simulator's factorization-reuse Newton
+	// variant for every evaluation in the search (DESIGN.md §5.5). The
+	// reuse path is tolerance-contracted rather than bit-pinned, so a run
+	// with it enabled may follow a different (still deterministic)
+	// trajectory than the default; like BatchEval it joins the cache key
+	// only when set.
+	NewtonReuse bool
 	// Restarts repeats the anneal+polish pipeline from fresh random seeds
 	// and keeps the best outcome; use >1 when the power comparison must
 	// be low-variance (the figure-reproduction sweeps do).
@@ -263,6 +270,8 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 		return nil, 0, err
 	}
 	ev := newEvaluator(spec, proc, opts.Mode, opts.PenaltyW, opts.EvalHook, opts.Progress)
+	ev.se.NewtonReuse = opts.NewtonReuse
+	ev.batch = opts.BatchEval
 	best := ev.score(ctx, eqSeed)
 	if opts.WarmStart != nil {
 		// Retargeting: start from the better of the two seeds. A warm
@@ -377,6 +386,7 @@ type evaluator struct {
 	se       *hybrid.StageEvaluator
 	penaltyW float64
 	evals    int
+	batch    int // Options.BatchEval; >1 batches the pattern-search sweeps too
 	hook     func(ctx context.Context, eval int) error
 	progress func(p Progress)
 }
@@ -491,6 +501,9 @@ func perturb(rng *rand.Rand, s opamp.Amp, temp float64, proc *pdk.Process) opamp
 // opamp.FromVector path always produced a MillerSizing and silently
 // swapped a Telescopic amplifier's topology mid-search.
 func patternSearch(ctx context.Context, ev *evaluator, best scored, budget int, proc *pdk.Process, firstFeasible *int) scored {
+	if ev.batch > 1 {
+		return patternSearchBatch(ctx, ev, best, budget, proc, firstFeasible)
+	}
 	step := 0.25
 	dims := len(best.sizing.Vector())
 	for spent := 0; spent < budget && step > 0.01; {
@@ -516,6 +529,64 @@ func patternSearch(ctx context.Context, ev *evaluator, best scored, budget int, 
 						best = sc
 						improved = true
 						break
+					}
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best
+}
+
+// patternSearchBatch is the BatchEval>1 variant of the polish: each sweep
+// around the incumbent is generated up front in the serial path's
+// coordinate/direction order, scored through the warm batch kernel in
+// chunks of ev.batch, and folded in index order. An improvement ends the
+// sweep (the rest of the in-flight chunk still counts as spent budget,
+// exactly like candidates the serial loop scored before breaking), so the
+// trajectory is deterministic for a fixed width — but a different one
+// than the serial loop's, which is why BatchEval is part of the cache
+// key.
+func patternSearchBatch(ctx context.Context, ev *evaluator, best scored, budget int, proc *pdk.Process, firstFeasible *int) scored {
+	step := 0.25
+	dims := len(best.sizing.Vector())
+	spent := 0
+	for spent < budget && step > 0.01 {
+		improved := false
+		moves := make([]opamp.Amp, 0, 2*dims)
+		for i := 0; i < dims; i++ {
+			for _, dir := range []float64{1 + step, 1 / (1 + step)} {
+				v := best.sizing.Vector()
+				v[i] *= dir
+				cand, err := best.sizing.WithVector(v)
+				if err != nil {
+					continue
+				}
+				moves = append(moves, cand.Bound(proc))
+			}
+		}
+		for off := 0; off < len(moves) && spent < budget && !improved; off += ev.batch {
+			if ctx.Err() != nil {
+				return best
+			}
+			end := off + ev.batch
+			if end > len(moves) {
+				end = len(moves)
+			}
+			if rem := budget - spent; end-off > rem {
+				end = off + rem
+			}
+			for _, sc := range ev.scoreBatch(ctx, moves[off:end]) {
+				spent++
+				if sc.err == nil {
+					if *firstFeasible < 0 && sc.feasible() {
+						*firstFeasible = sc.ord
+					}
+					if !improved && sc.cost < best.cost {
+						best = sc
+						improved = true
 					}
 				}
 			}

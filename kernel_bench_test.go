@@ -7,15 +7,19 @@
 package pipesyn_test
 
 import (
+	"context"
 	"testing"
 
+	"pipesyn/internal/core"
 	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
 	"pipesyn/internal/mdac"
 	"pipesyn/internal/netlist"
 	"pipesyn/internal/opamp"
 	"pipesyn/internal/pdk"
 	"pipesyn/internal/sim"
 	"pipesyn/internal/stagespec"
+	"pipesyn/internal/synth"
 )
 
 // benchStage builds a representative second-stage MDAC of a 12-bit
@@ -91,6 +95,27 @@ func BenchmarkTranSettleFullNewton(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Tran(hold, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudy13b is the full-study number the batched kernel path is
+// accountable to: a 13-bit designer-driven study on a tiny evaluation
+// budget with the annealer's batched moves (BatchEval) and the
+// reuse-Newton solver both enabled — every hot path this package's
+// kernel benchmarks measure in isolation, composed end to end.
+func BenchmarkStudy13b(b *testing.B) {
+	opts := core.Options{
+		Bits: 13, SampleRate: 40e6, Mode: hybrid.Hybrid,
+		Synth: synth.Options{
+			Seed: 7, MaxEvals: 12, PatternIter: 6,
+			BatchEval: 4, NewtonReuse: true,
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,11 +27,12 @@ fresh=$(mktemp) && base_tbl=$(mktemp) && fresh_tbl=$(mktemp)
 trap 'rm -f "$fresh" "$base_tbl" "$fresh_tbl"' EXIT
 
 echo "benchdiff: fresh run (benchtime $BENCHTIME)..." >&2
-# Mirror the `make bench` package set and filters.
+# Mirror the `make bench` package set, filters, and volatile-field strip.
+filter=$(dirname "$0")/benchfilter.sh
 go test -json -bench=. -benchmem -run='^$' -benchtime "$BENCHTIME" \
-    ./internal/la ./internal/expr ./internal/sim ./internal/hybrid > "$fresh"
-go test -json -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep)$' \
-    -benchmem -run='^$' -benchtime "$BENCHTIME" . >> "$fresh"
+    ./internal/la ./internal/expr ./internal/sim ./internal/hybrid | "$filter" > "$fresh"
+go test -json -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b)$' \
+    -benchmem -run='^$' -benchtime "$BENCHTIME" . | "$filter" >> "$fresh"
 
 # Extract "pkg/BenchmarkName ns_op" pairs from go-test JSON events.
 extract() {

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Normalize `go test -json` benchmark output for committing: strip the
+# fields that change on every run even when performance does not — the
+# per-event timestamps, the package elapsed seconds, and the benchmark
+# iteration counts — so a `git diff BENCH_kernels.json` after
+# `make bench` shows only real ns/op and allocation movement.
+#
+# Reads stdin, writes stdout; `make bench` and scripts/benchdiff.sh pipe
+# through it at record time.
+exec sed -E \
+    -e 's/"Time":"[^"]*",//' \
+    -e 's/,"Elapsed":[0-9.eE+-]+//' \
+    -e '/ns\/op/ s/"Output":" *[0-9]+\\t/"Output":"/' \
+    -e '/ns\/op/ s/\\t *[0-9]+(\\t *[0-9.]+ ns\/op)/\1/' \
+    -e 's/(\\t)[0-9]+\.[0-9]+s(\\n")/\1\2/'
