@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench benchdiff bench-figures serve-smoke recover-smoke persist ci
+.PHONY: build test vet race bench benchdiff bench-figures serve-smoke recover-smoke yield-smoke persist ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'Cancel|Fault|Leak' ./...
 	$(GO) test -race ./internal/service
+	$(GO) test -race ./internal/yield ./internal/adcsim ./internal/dsp
 
 # Service integration smoke: boot adcsynd, run a study over HTTP with a
 # cached rerun and a /metrics scrape, SIGTERM, assert clean drain — then
@@ -32,6 +33,11 @@ serve-smoke:
 # restart, assert the same job is recovered and completes.
 recover-smoke:
 	SMOKE_LEG=recover ./scripts/serve_smoke.sh
+
+# Monte-Carlo yield smoke only: the same 200-draw mode:yield study on two
+# daemons with different -workers must produce bit-identical results.
+yield-smoke:
+	SMOKE_LEG=yield ./scripts/serve_smoke.sh
 
 # Persistence lane: journal replay, crash recovery, retention/leak, and
 # cache-durability tests under the race detector.

@@ -19,9 +19,16 @@ go test -race ./internal/service
 # retention/leak regression (500-job soak), and the disk-cache
 # durability tests under the race detector.
 go test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' ./internal/service ./internal/synth
-# End-to-end daemon smoke, both legs: boot → study over HTTP → cached
-# rerun → /metrics → SIGTERM drain, then the kill -9 crash-recovery leg
-# (same -state-dir restart must finish the interrupted study).
+# Yield lane: the Monte-Carlo draw pool, the behavioral simulator, and
+# the spectral metrics under the race detector — the determinism contract
+# (per-draw seeds, order-independent mismatch streams) is what the
+# concurrent draws lean on.
+go test -race ./internal/yield ./internal/adcsim ./internal/dsp
+# End-to-end daemon smoke, all legs: boot → study over HTTP → cached
+# rerun → /metrics → SIGTERM drain; the kill -9 crash-recovery leg (same
+# -state-dir restart must finish the interrupted study); and the yield
+# leg (200-draw mode:yield study bit-identical across daemons with
+# different -workers, yield counters on /metrics).
 ./scripts/serve_smoke.sh
 # Sparse-solver lane: the sparse/dense bit-exactness, symbolic-coverage,
 # modified-Newton determinism, ordered-pivot equivalence, and

@@ -5,10 +5,19 @@
 //
 // Usage:
 //
-//	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation]
+//	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation|yield]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
+//	       [-draws 1000] [-min-enob 0]
 //	       [-workers 0] [-cache-dir DIR] [-timeout DURATION] [-json]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// -mode yield is the Monte-Carlo sign-off lane: synthesize with the full
+// hybrid evaluator, map the best design onto its process-variation error
+// model, sample -draws mismatch realizations (each behaviorally sine-
+// tested), and report the ENOB/SNDR distributions plus the yield against
+// -min-enob (default bits−1). Draw seeds derive from the study content
+// address and the draw index, so the analysis is bit-identical for any
+// -workers setting.
 //
 // -workers bounds the parallel synthesis scheduler (0 = all cores,
 // 1 = serial); every setting produces the same study bit for bit.
@@ -40,16 +49,21 @@ import (
 	"time"
 
 	"pipesyn/internal/core"
+	"pipesyn/internal/hybrid"
 	"pipesyn/internal/report"
+	"pipesyn/internal/sched"
 	"pipesyn/internal/service"
 	"pipesyn/internal/synth"
+	"pipesyn/internal/yield"
 )
 
 func main() {
 	bits := flag.Int("bits", 13, "target resolution, bits")
 	fs := flag.Float64("fs", 40e6, "sample rate, Hz")
 	vref := flag.Float64("vref", 1.0, "reference (full scale ±VRef), V")
-	modeStr := flag.String("mode", "hybrid", "evaluation mode: hybrid, equation, simulation")
+	modeStr := flag.String("mode", "hybrid", "evaluation mode: hybrid, equation, simulation, or yield (Monte-Carlo sign-off)")
+	draws := flag.Int("draws", 1000, "mode yield: Monte-Carlo process draws")
+	minENOB := flag.Float64("min-enob", 0, "mode yield: pass/fail ENOB spec (0 = bits-1)")
 	evals := flag.Int("evals", 180, "annealing evaluations per MDAC")
 	pattern := flag.Int("pattern", 90, "pattern-search evaluations per MDAC")
 	restarts := flag.Int("restarts", 1, "synthesis restarts per MDAC")
@@ -66,10 +80,15 @@ func main() {
 	flag.Parse()
 
 	// Shared with the adcsynd API so CLI and service accept the same
-	// mode vocabulary.
-	mode, err := service.ParseMode(*modeStr)
-	if err != nil {
-		fatal(err)
+	// mode vocabulary. Yield is not an evaluator mode: it synthesizes
+	// with the full hybrid evaluator, then runs the Monte-Carlo lane.
+	isYield := *modeStr == "yield"
+	mode := hybrid.Hybrid
+	var err error
+	if !isYield {
+		if mode, err = service.ParseMode(*modeStr); err != nil {
+			fatal(err)
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -105,6 +124,13 @@ func main() {
 			Restarts: *restarts, Cache: cache,
 		},
 	}
+	var pool *sched.Pool
+	if isYield {
+		// One explicit pool serves both the synthesis fan-out and the
+		// Monte-Carlo draws, so -workers bounds the whole run.
+		pool = sched.NewPool(*workers)
+		opts.Pool = pool
+	}
 	// Ctrl-C (or SIGTERM from a job runner) cancels the study; the engine
 	// checks the context once per evaluation, so teardown is prompt even
 	// mid-synthesis. An optional -timeout turns the same path into a
@@ -127,10 +153,29 @@ func main() {
 		}
 		fatal(err)
 	}
+	var yres *yield.Result
+	if isYield {
+		spec := yield.Spec{Draws: *draws, MinENOB: *minENOB}
+		model, err := yield.FromStudy(st, opts, spec)
+		if err != nil {
+			fatal(err)
+		}
+		yres, err = yield.Run(ctx, pool, model, core.StudyKey(opts), spec, yield.Hooks{})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("yield analysis interrupted: %w", err))
+			}
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		// Machine-readable path: the same wire type the adcsynd service
 		// answers with, so CLI and daemon reports are interchangeable.
 		out := service.EncodeStudy(st, mode, time.Since(t0))
+		if isYield {
+			out.Mode = "yield"
+			out.Yield = yres
+		}
 		if *verify {
 			m, err := core.BehavioralCheck(st, opts, 4096)
 			if err != nil {
@@ -180,6 +225,16 @@ func main() {
 		}
 		fmt.Printf("behavioral check: ENOB %.2f bits (SNDR %.1f dB, SFDR %.1f dB)\n",
 			m.ENOB, m.SNDRdB, m.SFDRdB)
+	}
+
+	if isYield {
+		fmt.Printf("\nMonte-Carlo sign-off: %d process draws against ENOB >= %.2f\n",
+			yres.Draws, yres.MinENOB)
+		fmt.Printf("yield %.1f%% (%d/%d pass)\n", yres.Yield*100, yres.Pass, yres.Draws)
+		fmt.Printf("ENOB  min %.2f  p05 %.2f  p50 %.2f  p95 %.2f  max %.2f  mean %.2f\n",
+			yres.ENOB.Min, yres.ENOB.P05, yres.ENOB.P50, yres.ENOB.P95, yres.ENOB.Max, yres.ENOB.Mean)
+		fmt.Printf("SNDR  min %.1f  p05 %.1f  p50 %.1f  p95 %.1f  max %.1f  mean %.1f dB\n",
+			yres.SNDRdB.Min, yres.SNDRdB.P05, yres.SNDRdB.P50, yres.SNDRdB.P95, yres.SNDRdB.Max, yres.SNDRdB.Mean)
 	}
 }
 

@@ -12,6 +12,12 @@
 // Endpoints:
 //
 //	POST   /v1/studies            submit {bits, fs, vref, mode, evals, ...}
+//	                              mode "yield" adds {draws, minEnob}: a
+//	                              Monte-Carlo sign-off job that synthesizes,
+//	                              then samples mismatch draws — progress
+//	                              streams as yield_chunk events, results
+//	                              carry the ENOB/SNDR distributions + yield
+
 //	GET    /v1/studies            list jobs (?state= filters; /v1/jobs alias)
 //	GET    /v1/studies/{id}       status + result
 //	GET    /v1/studies/{id}/events NDJSON progress stream

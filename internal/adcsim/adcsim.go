@@ -29,16 +29,45 @@ type StageModel struct {
 	NoiseRMS      float64 // input-referred additive noise, V
 	CompOffsetRMS float64 // per-comparator threshold offset, V
 	SettleError   float64 // unsettled fraction of the residue step
+	// DACMismatch is the static per-level error of the stage DAC in VRef
+	// units: level d subtracts (d + DACMismatch[d+G−1])·VRef from the
+	// amplified input instead of d·VRef. In a switched-capacitor MDAC
+	// each level switches a different subset of the sampling unit caps,
+	// so capacitor mismatch lands exactly here — level-dependent DAC
+	// errors the digital correction cannot absorb. Length must be 0
+	// (ideal) or 2G−1 where G = 2^(Bits−1), indexed by d+G−1 for
+	// d ∈ [−(G−1), G−1].
+	DACMismatch []float64
 }
 
 // Converter is a behavioral pipelined ADC. The input range is ±VRef.
 type Converter struct {
 	VRef   float64
 	Stages []StageModel
-	rng    *rand.Rand
+	// seed anchors the static-mismatch draws. Each stage's comparator
+	// offsets come from its own deterministic substream of this seed, so
+	// injecting a model into one stage never disturbs another stage's
+	// mismatch realization, and the draw is independent of the order in
+	// which stages are configured.
+	seed int64
+	// noise is the dynamic-noise stream, deliberately separate from the
+	// mismatch substreams: Convert calls consume noise samples without
+	// perturbing the static mismatch state.
+	noise *rand.Rand
 	// offsets[i][j] is the fixed offset of stage i's j-th threshold,
-	// drawn once at construction (offsets are static mismatch, not noise).
+	// drawn once per SetStage (offsets are static mismatch, not noise).
 	offsets [][]float64
+}
+
+// stageSeed derives the deterministic substream seed for one stage's
+// static mismatch (or, with stage = −1, the dynamic-noise stream). It is
+// a splitmix64-style finalizer over (seed, stage): adjacent seeds and
+// stages land in statistically unrelated streams.
+func stageSeed(seed int64, stage int) int64 {
+	z := uint64(seed) + uint64(stage+2)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // New builds a converter from a full configuration (use
@@ -51,16 +80,22 @@ func New(cfg enum.Config, vref float64, seed int64) (*Converter, error) {
 	if vref <= 0 {
 		return nil, fmt.Errorf("adcsim: non-positive reference")
 	}
-	c := &Converter{VRef: vref, rng: rand.New(rand.NewSource(seed))}
+	c := &Converter{VRef: vref, seed: seed, noise: rand.New(rand.NewSource(stageSeed(seed, -1)))}
 	for _, m := range cfg {
 		c.Stages = append(c.Stages, StageModel{Bits: m})
 	}
-	c.resampleOffsets()
+	c.offsets = make([][]float64, len(c.Stages))
+	for i := range c.Stages {
+		c.resampleStage(i)
+	}
 	return c, nil
 }
 
 // SetStage replaces a stage model (to inject non-idealities) and redraws
-// that stage's comparator offsets.
+// that stage's — and only that stage's — comparator offsets from its
+// deterministic substream. Stage i's mismatch realization therefore
+// depends only on (seed, i, CompOffsetRMS), not on how many times or in
+// which order other stages were configured.
 func (c *Converter) SetStage(i int, m StageModel) error {
 	if i < 0 || i >= len(c.Stages) {
 		return fmt.Errorf("adcsim: stage %d out of range", i)
@@ -68,20 +103,27 @@ func (c *Converter) SetStage(i int, m StageModel) error {
 	if m.Bits != c.Stages[i].Bits {
 		return fmt.Errorf("adcsim: cannot change stage resolution (%d→%d)", c.Stages[i].Bits, m.Bits)
 	}
+	if n := len(m.DACMismatch); n != 0 {
+		if want := 2*(1<<(m.Bits-1)) - 1; n != want {
+			return fmt.Errorf("adcsim: stage %d DAC mismatch has %d levels, want %d", i, n, want)
+		}
+	}
 	c.Stages[i] = m
-	c.resampleOffsets()
+	c.resampleStage(i)
 	return nil
 }
 
-func (c *Converter) resampleOffsets() {
-	c.offsets = make([][]float64, len(c.Stages))
-	for i, st := range c.Stages {
-		g := 1 << (st.Bits - 1)
-		n := 2*g - 2 // thresholds of a 2^bits−2 comparator flash
-		c.offsets[i] = make([]float64, n)
-		for j := range c.offsets[i] {
-			c.offsets[i][j] = c.rng.NormFloat64() * st.CompOffsetRMS
-		}
+// resampleStage redraws stage i's comparator offsets from the stage's own
+// substream. A fresh generator per call makes the draw a pure function of
+// (converter seed, stage index, the stage's CompOffsetRMS).
+func (c *Converter) resampleStage(i int) {
+	st := c.Stages[i]
+	rng := rand.New(rand.NewSource(stageSeed(c.seed, i)))
+	g := 1 << (st.Bits - 1)
+	n := 2*g - 2 // thresholds of a 2^bits−2 comparator flash
+	c.offsets[i] = make([]float64, n)
+	for j := range c.offsets[i] {
+		c.offsets[i][j] = rng.NormFloat64() * st.CompOffsetRMS
 	}
 }
 
@@ -125,7 +167,7 @@ func (c *Converter) convertValue(vin float64) float64 {
 	for i, st := range c.Stages {
 		g := float64(int(1) << (st.Bits - 1))
 		if st.NoiseRMS > 0 {
-			v += c.rng.NormFloat64() * st.NoiseRMS
+			v += c.noise.NormFloat64() * st.NoiseRMS
 		}
 		d := c.subADC(i, v, int(g))
 		gainProd *= g
@@ -135,8 +177,15 @@ func (c *Converter) convertValue(vin float64) float64 {
 		}
 		// Residue amplification: gain error and incomplete settling scale
 		// the whole closed-loop expression (signal and DAC terms share
-		// the capacitor ratio), creating the classic INL staircase.
-		v = (1 + st.GainError) * (1 - st.SettleError) * (g*v - float64(d)*c.VRef)
+		// the capacitor ratio), creating the classic INL staircase. The
+		// DAC level itself carries its static capacitor-mismatch error:
+		// the analog subtraction is off by DACMismatch[d+G−1]·VRef while
+		// the digital reconstruction still assumes the ideal level.
+		dac := float64(d)
+		if len(st.DACMismatch) > 0 {
+			dac += st.DACMismatch[d+int(g)-1]
+		}
+		v = (1 + st.GainError) * (1 - st.SettleError) * (g*v - dac*c.VRef)
 	}
 	// The final residue below the last flash's LSB is the converter's
 	// quantization error (±½ LSB for ideal stages).

@@ -228,6 +228,125 @@ func TestConvertAll(t *testing.T) {
 	}
 }
 
+// Mismatch draws must be a pure function of (seed, stage): configuring
+// the stages in any order, any number of times, yields the same offsets
+// as configuring them front to back — the contract the Monte-Carlo yield
+// lane's reproducibility rests on.
+func TestSetStageOrderIndependent(t *testing.T) {
+	full, _ := enum.Config{4, 3, 2}.WithTail(13)
+	build := func(order []int) *Converter {
+		c, err := New(full, 1.0, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			st := c.Stages[i]
+			st.CompOffsetRMS = 1.0 / 64
+			if err := c.SetStage(i, st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	fwd := make([]int, len(full))
+	rev := make([]int, len(full))
+	for i := range fwd {
+		fwd[i] = i
+		rev[i] = len(full) - 1 - i
+	}
+	a, b := build(fwd), build(rev)
+	for i := range a.offsets {
+		if len(a.offsets[i]) != len(b.offsets[i]) {
+			t.Fatalf("stage %d offset count differs", i)
+		}
+		for j := range a.offsets[i] {
+			if a.offsets[i][j] != b.offsets[i][j] {
+				t.Fatalf("stage %d offset %d: %g (0,1,2 order) vs %g (2,1,0 order)",
+					i, j, a.offsets[i][j], b.offsets[i][j])
+			}
+		}
+	}
+	// Re-setting one stage must not disturb any other stage's draw.
+	st := a.Stages[0]
+	if err := a.SetStage(0, st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(a.offsets); i++ {
+		for j := range a.offsets[i] {
+			if a.offsets[i][j] != b.offsets[i][j] {
+				t.Fatalf("SetStage(0) perturbed stage %d offsets", i)
+			}
+		}
+	}
+}
+
+// Dynamic noise draws ride their own stream: converting samples (which
+// consumes noise) must not shift the static mismatch that a later
+// SetStage draws.
+func TestConvertDoesNotPerturbMismatch(t *testing.T) {
+	full, _ := enum.Config{4, 3, 2}.WithTail(13)
+	configure := func(c *Converter, convertFirst bool) {
+		st0 := c.Stages[0]
+		st0.NoiseRMS = 1e-4
+		if err := c.SetStage(0, st0); err != nil {
+			t.Fatal(err)
+		}
+		if convertFirst {
+			for i := 0; i < 257; i++ {
+				c.Convert(float64(i)/300 - 0.4)
+			}
+		}
+		st1 := c.Stages[1]
+		st1.CompOffsetRMS = 1.0 / 64
+		if err := c.SetStage(1, st1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := New(full, 1.0, 5)
+	b, _ := New(full, 1.0, 5)
+	configure(a, true)
+	configure(b, false)
+	for j := range a.offsets[1] {
+		if a.offsets[1][j] != b.offsets[1][j] {
+			t.Fatalf("noise consumption changed stage-1 mismatch draw: %g vs %g",
+				a.offsets[1][j], b.offsets[1][j])
+		}
+	}
+}
+
+// DAC-level mismatch is a static error the digital correction cannot
+// absorb: large per-level errors must degrade ENOB, and a wrong-length
+// vector must be rejected.
+func TestDACMismatchDegrades(t *testing.T) {
+	full, _ := enum.Config{4, 3, 2}.WithTail(13)
+	n := 4096
+	fs := 40e6
+	fSig, _ := dsp.CoherentBin(fs, 2.3e6, n)
+
+	c, _ := New(full, 1.0, 29)
+	st := c.Stages[0]
+	if err := c.SetStage(0, StageModel{Bits: st.Bits, DACMismatch: []float64{0, 0}}); err == nil {
+		t.Fatal("expected length validation error for DAC mismatch")
+	}
+	g := 1 << (st.Bits - 1)
+	mm := make([]float64, 2*g-1)
+	for j := range mm {
+		d := j - (g - 1)
+		mm[j] = 0.02 * float64(d%3) // a few % of a level: gross at 13 bits
+	}
+	st.DACMismatch = mm
+	if err := c.SetStage(0, st); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dsp.SineTestMetrics(c.SineTest(fs, fSig, n, 0.95), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ENOB > 9 {
+		t.Fatalf("gross DAC mismatch should crush ENOB, got %.2f", m.ENOB)
+	}
+}
+
 // Monte Carlo mismatch analysis: with comparator offsets drawn at half
 // the redundancy margin, every mismatch realization must still convert
 // within a fraction of a bit of the target — the statistical face of the

@@ -85,6 +85,8 @@ type Options struct {
 //   - "point_start": Point (0-based), Stage, Bits, PriorBits.
 //   - "point_done":  the above plus CacheHit, Feasible, Power, Evals.
 //   - "sha_start", "sha_done": the front-end S/H synthesis (IncludeSHA).
+//   - "yield_chunk": Done, Draws, Pass — Monte-Carlo yield-lane progress
+//     (emitted by the serving layer, not by Optimize itself).
 type ProgressEvent struct {
 	Kind       string  `json:"kind"`
 	Point      int     `json:"point,omitempty"`
@@ -97,6 +99,9 @@ type ProgressEvent struct {
 	Feasible   bool    `json:"feasible,omitempty"`
 	Power      float64 `json:"powerW,omitempty"`
 	Evals      int     `json:"evals,omitempty"`
+	Done       int     `json:"done,omitempty"`
+	Draws      int     `json:"draws,omitempty"`
+	Pass       int     `json:"pass,omitempty"`
 }
 
 // emit delivers a progress event when a sink is configured.
@@ -116,6 +121,16 @@ func (o *Options) fillDefaults() {
 	if o.SampleRate == 0 {
 		o.SampleRate = 40e6
 	}
+}
+
+// WithDefaults returns a copy with the study-shaping defaults applied
+// (reference, process, sample rate) — the same normalization Optimize
+// and StudyKey perform, exported for layers that interpret a study
+// downstream (the Monte-Carlo yield lane derives its error model from
+// the same process and reference the synthesis actually used).
+func (o Options) WithDefaults() Options {
+	o.fillDefaults()
+	return o
 }
 
 // StageResult is the costed outcome of one pipeline stage in a candidate.

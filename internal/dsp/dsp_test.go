@@ -132,6 +132,106 @@ func TestCoherentBin(t *testing.T) {
 	}
 }
 
+// Golden absolute-power contract of the one-sided fold: a coherent unit
+// sine concentrates exactly its mean square — 0.5, i.e. −3.01 dBFS — in
+// its bin, and the one-sided bins sum to the time-domain mean square
+// (one-sided Parseval). The pre-fix fold doubled amplitude before
+// squaring, putting 4× power (+3.01 dB) in every non-DC bin.
+func TestPowerSpectrumUnitSineGolden(t *testing.T) {
+	n := 4096
+	fs := 40e6
+	fSig, k := CoherentBin(fs, 2.3e6, n)
+	x := make([]float64, n)
+	meanSq := 0.0
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * fSig * float64(i) / fs)
+		meanSq += x[i] * x[i]
+	}
+	meanSq /= float64(n)
+	sp, err := PowerSpectrum(x, fs, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Power[k]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("unit-sine bin power = %.12g (%.3f dB), want 0.5 (−3.01 dB)",
+			got, 10*math.Log10(got))
+	}
+	total := 0.0
+	for _, p := range sp.Power {
+		total += p
+	}
+	if math.Abs(total-meanSq) > 1e-9 {
+		t.Fatalf("one-sided Parseval: Σ bins = %.12g, mean square = %.12g", total, meanSq)
+	}
+	// The absolute metrics derived from the spectrum inherit the scale.
+	m, err := sp.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.SignalPow-0.5) > 1e-9 {
+		t.Fatalf("SignalPow = %g, want 0.5", m.SignalPow)
+	}
+}
+
+// DC and Nyquist have no negative-frequency twin and must not be doubled:
+// a pure DC offset shows up at exactly its squared value.
+func TestPowerSpectrumDCNotDoubled(t *testing.T) {
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.25
+	}
+	sp, err := PowerSpectrum(x, 1, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Power[0]-0.0625) > 1e-12 {
+		t.Fatalf("DC power = %g, want 0.0625", sp.Power[0])
+	}
+	// Nyquist: alternating ±A concentrates A² in bin N/2.
+	for i := range x {
+		x[i] = 0.5
+		if i%2 == 1 {
+			x[i] = -0.5
+		}
+	}
+	sp, err = PowerSpectrum(x, 1, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Power[n/2]-0.25) > 1e-12 {
+		t.Fatalf("Nyquist power = %g, want 0.25", sp.Power[n/2])
+	}
+}
+
+// Periodic-window contract: the periodic Hann sums to exactly n/2 (its
+// cosine term cancels over a whole period), so the coherent gain is
+// exactly 0.5 — and a one-sample slice must pass through untouched
+// instead of producing NaN from the symmetric form's n−1 denominator.
+func TestWindowPeriodicForm(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		if cg := Hann.Apply(x); math.Abs(cg-0.5) > 1e-12 {
+			t.Fatalf("n=%d: periodic Hann coherent gain = %.15g, want exactly 0.5", n, cg)
+		}
+	}
+	one := []float64{3}
+	for _, w := range []Window{Rectangular, Hann, Blackman} {
+		if cg := w.Apply(one); cg != 1 || one[0] != 3 {
+			t.Fatalf("window %v on n=1: cg=%g x=%g (want pass-through)", w, cg, one[0])
+		}
+		if math.IsNaN(one[0]) {
+			t.Fatalf("window %v produced NaN for n=1", w)
+		}
+	}
+	if cg := Hann.Apply(nil); cg != 1 {
+		t.Fatalf("nil slice: cg = %g", cg)
+	}
+}
+
 func TestSNDRIdealQuantizer(t *testing.T) {
 	// An ideal B-bit quantizer shows SNDR ≈ 6.02B + 1.76 dB.
 	for _, bits := range []int{8, 10, 12} {

@@ -72,16 +72,21 @@ const (
 )
 
 // Apply multiplies x in place by the window and returns the coherent gain
-// (mean window value) for amplitude correction.
+// (mean window value) for amplitude correction. The windows are the
+// periodic (DFT-even) forms — denominator n, not n−1 — which is what
+// spectral analysis wants: the implied periodic extension has no seam, so
+// a coherent tone stays leakage-free. (The symmetric n−1 form belongs to
+// FIR filter design, and divides by zero for n == 1.) Slices shorter than
+// two samples are left untouched with unit gain.
 func (w Window) Apply(x []float64) float64 {
 	n := len(x)
-	if n == 0 {
+	if n < 2 {
 		return 1
 	}
 	sum := 0.0
 	for i := range x {
 		var c float64
-		t := 2 * math.Pi * float64(i) / float64(n-1)
+		t := 2 * math.Pi * float64(i) / float64(n)
 		switch w {
 		case Rectangular:
 			c = 1
@@ -139,10 +144,15 @@ func PowerSpectrum(x []float64, fs float64, w Window) (*Spectrum, error) {
 	norm := 1 / (float64(n) * cg)
 	for k := 0; k < half; k++ {
 		m := cmplx.Abs(cx[k]) * norm
-		if k != 0 && k != n/2 {
-			m *= 2 // fold negative frequencies
-		}
 		p[k] = m * m
+		if k != 0 && k != n/2 {
+			// Fold the negative-frequency half in POWER: bin k and bin
+			// N−k each hold |X|², so the one-sided bin carries 2·|X|².
+			// (Folding in amplitude before squaring would give 4×.) A
+			// full-scale unit sine thus lands 0.5 = −3.01 dB in its bin,
+			// and the one-sided bins sum to the signal's mean square.
+			p[k] *= 2
+		}
 	}
 	return &Spectrum{Power: p, Fs: fs, N: n}, nil
 }

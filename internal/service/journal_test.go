@@ -13,7 +13,6 @@ import (
 	"testing"
 	"time"
 
-	"pipesyn/internal/core"
 	"pipesyn/internal/testutil"
 )
 
@@ -376,6 +375,7 @@ func TestJournalRoundTripKeyStability(t *testing.T) {
 	for i, req := range []StudyRequest{
 		tinyReq(10, 3),
 		{Bits: 13, SampleRate: 80e6, VRef: 0.9, Mode: "hybrid", Evals: 7, Pattern: 5, Restarts: 2, Seed: 11, Retarget: true, SHA: true},
+		{Bits: 10, Mode: "yield", Evals: 7, Pattern: 5, Seed: 11, Draws: 500, MinENOB: 8.5},
 	} {
 		dir := t.TempDir()
 		jn, err := OpenJournal(dir)
@@ -386,7 +386,7 @@ func TestJournalRoundTripKeyStability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		key := core.StudyKey(opts)
+		key := req.JobKey(opts)
 		jn.append(journalRecord{Op: "submit", ID: fmt.Sprintf("s%06d-roundtrp", i+1), Time: time.Now(), Key: key, Req: &req, Created: time.Now()})
 		jn.Close()
 

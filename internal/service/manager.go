@@ -11,6 +11,7 @@ import (
 	"pipesyn/internal/sched"
 	"pipesyn/internal/sim"
 	"pipesyn/internal/synth"
+	"pipesyn/internal/yield"
 )
 
 // State is a job's position in the lifecycle: queued → running →
@@ -422,7 +423,7 @@ func (m *Manager) Recover() (RecoveryStats, error) {
 			reason = "journal entry has no request"
 		} else if opts, err := req.Options(); err != nil {
 			reason = "request no longer validates: " + err.Error()
-		} else if rekey := core.StudyKey(opts); key == "" {
+		} else if rekey := req.JobKey(opts); key == "" {
 			key = rekey
 			job.Key = rekey
 		} else if rekey != key {
@@ -508,7 +509,7 @@ func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := core.StudyKey(opts)
+	key := req.JobKey(opts)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -699,14 +700,52 @@ func (m *Manager) runJob(job *Job) {
 
 	start := time.Now()
 	study, err := core.Optimize(ctx, opts)
+	var result *StudyJSON
+	if err == nil {
+		if job.Req.Yield() {
+			result, err = m.runYield(ctx, job, study, opts, start)
+		} else {
+			result = EncodeStudy(study, opts.Mode, time.Since(start))
+		}
+	}
 	switch {
 	case err == nil:
-		m.finalize(job, StateDone, EncodeStudy(study, opts.Mode, time.Since(start)), nil)
+		m.finalize(job, StateDone, result, nil)
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
 		m.finalize(job, StateCancelled, nil, err)
 	default:
 		m.finalize(job, StateFailed, nil, err)
 	}
+}
+
+// runYield extends a completed synthesis with the Monte-Carlo sign-off
+// lane: map the best design onto its error model, sample the draws on
+// the shared pool, and fold the distributions into the study result.
+// Draw seeds derive from the synthesis StudyKey (not the yield JobKey),
+// so the same design re-analyzed under a different draw count replays
+// the same leading realizations.
+func (m *Manager) runYield(ctx context.Context, job *Job, study *core.Study, opts core.Options, start time.Time) (*StudyJSON, error) {
+	spec := job.Req.YieldSpec()
+	model, err := yield.FromStudy(study, opts, spec)
+	if err != nil {
+		return nil, err
+	}
+	yres, err := yield.Run(ctx, m.pool, model, core.StudyKey(opts), spec, yield.Hooks{
+		Progress: func(p yield.Progress) {
+			ev := core.ProgressEvent{Kind: "yield_chunk", Done: p.Done, Draws: p.Draws, Pass: p.Pass}
+			job.appendEvent("progress", func(e *Event) { e.Progress = &ev })
+		},
+		Draw: func(_ int, d yield.Draw) {
+			m.metrics.ObserveYieldDraw(d.ENOB, d.Pass)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := EncodeStudy(study, opts.Mode, time.Since(start))
+	out.Mode = "yield"
+	out.Yield = yres
+	return out, nil
 }
 
 // finalize moves a job to a terminal state exactly once: records the

@@ -44,7 +44,19 @@ type Metrics struct {
 	evalCount   atomic.Int64
 	evalSumNS   atomic.Int64
 	evalBuckets [16]atomic.Int64 // len(evalBuckets)+1 for +Inf
+
+	// Monte-Carlo yield lane: per-draw verdict counters and the ENOB
+	// histogram across every realization the daemon has sampled.
+	yieldPass         atomic.Int64
+	yieldFail         atomic.Int64
+	yieldENOBSumMicro atomic.Int64     // Σ ENOB in micro-bits (atomics can't add floats)
+	yieldENOB         [13]atomic.Int64 // len(yieldENOBBuckets)+1 for +Inf
 }
+
+// yieldENOBBuckets are the upper bounds (effective bits) of the yield
+// ENOB histogram: dense around the 8–14 bit sign-off range the pipeline
+// designs land in.
+var yieldENOBBuckets = []float64{2, 4, 6, 7, 8, 9, 10, 11, 12, 13, 14, 16}
 
 // ObserveEval records one evaluation's wall-clock cost. Safe for
 // concurrent use; two atomic adds plus a bucket add.
@@ -63,6 +75,28 @@ func (m *Metrics) ObserveEval(d time.Duration) {
 
 // Evals reports the total evaluations observed.
 func (m *Metrics) Evals() int64 { return m.evalCount.Load() }
+
+// ObserveYieldDraw records one Monte-Carlo realization's verdict and
+// ENOB. On the yield hot path, concurrent across draw workers; atomics
+// only.
+func (m *Metrics) ObserveYieldDraw(enob float64, pass bool) {
+	if pass {
+		m.yieldPass.Add(1)
+	} else {
+		m.yieldFail.Add(1)
+	}
+	m.yieldENOBSumMicro.Add(int64(enob * 1e6))
+	for i, ub := range yieldENOBBuckets {
+		if enob <= ub {
+			m.yieldENOB[i].Add(1)
+			return
+		}
+	}
+	m.yieldENOB[len(yieldENOBBuckets)].Add(1)
+}
+
+// YieldDraws reports the total Monte-Carlo draws observed.
+func (m *Metrics) YieldDraws() int64 { return m.yieldPass.Load() + m.yieldFail.Load() }
 
 // Snapshot is the point-in-time gauge set a scrape renders alongside the
 // counters; the Manager assembles it from the queue, the job table, the
@@ -165,6 +199,22 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "adcsynd_kernel_batch_width_bucket{le=\"+Inf\"} %d\n", bcum)
 	fmt.Fprintf(w, "adcsynd_kernel_batch_width_sum %d\n", snap.Kernel.BatchWidthSum)
 	fmt.Fprintf(w, "adcsynd_kernel_batch_width_count %d\n", bcum)
+
+	counter("adcsynd_yield_draws_total", "Monte-Carlo yield draws by pass/fail verdict.")
+	fmt.Fprintf(w, "adcsynd_yield_draws_total{result=%q} %d\n", "pass", m.yieldPass.Load())
+	fmt.Fprintf(w, "adcsynd_yield_draws_total{result=%q} %d\n", "fail", m.yieldFail.Load())
+
+	fmt.Fprintf(w, "# HELP adcsynd_yield_enob Per-draw ENOB across Monte-Carlo yield realizations.\n")
+	fmt.Fprintf(w, "# TYPE adcsynd_yield_enob histogram\n")
+	ycum := int64(0)
+	for i, ub := range yieldENOBBuckets {
+		ycum += m.yieldENOB[i].Load()
+		fmt.Fprintf(w, "adcsynd_yield_enob_bucket{le=%q} %d\n", trimFloat(ub), ycum)
+	}
+	ycum += m.yieldENOB[len(yieldENOBBuckets)].Load()
+	fmt.Fprintf(w, "adcsynd_yield_enob_bucket{le=\"+Inf\"} %d\n", ycum)
+	fmt.Fprintf(w, "adcsynd_yield_enob_sum %g\n", float64(m.yieldENOBSumMicro.Load())/1e6)
+	fmt.Fprintf(w, "adcsynd_yield_enob_count %d\n", ycum)
 
 	gauge("adcsynd_draining", "1 while the daemon is draining for shutdown.")
 	d := 0

@@ -63,10 +63,12 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) service.JobStatus {
 }
 
 // waitState polls until the job reaches want (or any terminal state,
-// which fails the test if it is not the wanted one).
+// which fails the test if it is not the wanted one). The deadline is
+// generous: hybrid-mode jobs under the race detector on a starved CI
+// box take tens of seconds; polling costs passing tests nothing.
 func waitState(t *testing.T, ts *httptest.Server, id string, want service.State) service.JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		st := getStatus(t, ts, id)
 		if st.State == want {
@@ -528,6 +530,11 @@ func TestServiceMetricsScrape(t *testing.T) {
 		`adcsynd_kernel_batch_width_bucket{le="+Inf"}`,
 		"adcsynd_kernel_batch_width_sum",
 		"adcsynd_kernel_batch_width_count",
+		// Yield counters render (at zero) even when no yield job ran.
+		`adcsynd_yield_draws_total{result="pass"} 0`,
+		`adcsynd_yield_draws_total{result="fail"} 0`,
+		`adcsynd_yield_enob_bucket{le="+Inf"} 0`,
+		"adcsynd_yield_enob_count 0",
 		"adcsynd_draining 0",
 	} {
 		if !strings.Contains(text, want) {

@@ -15,9 +15,12 @@ import (
 	"pipesyn/internal/core"
 	"pipesyn/internal/hybrid"
 	"pipesyn/internal/synth"
+	"pipesyn/internal/yield"
 )
 
-// ParseMode maps the CLI/API mode string to the evaluator mode.
+// ParseMode maps the CLI/API mode string to the evaluator mode. Mode
+// "yield" is not an evaluator — it is the Monte-Carlo sign-off lane
+// layered over a hybrid study; callers route it before evaluating.
 func ParseMode(s string) (hybrid.Mode, error) {
 	switch s {
 	case "", "hybrid":
@@ -27,7 +30,7 @@ func ParseMode(s string) (hybrid.Mode, error) {
 	case "simulation":
 		return hybrid.SimOnly, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q (want hybrid, equation, or simulation)", s)
+	return 0, fmt.Errorf("unknown mode %q (want hybrid, equation, simulation, or yield)", s)
 }
 
 // StudyRequest is the POST /v1/studies body. The knobs mirror the adcsyn
@@ -43,6 +46,34 @@ type StudyRequest struct {
 	Seed       int64   `json:"seed,omitempty"`
 	Retarget   bool    `json:"retarget,omitempty"` // chain warm starts across MDACs
 	SHA        bool    `json:"sha,omitempty"`      // also synthesize the front-end S/H
+
+	// Mode "yield" only: Monte-Carlo draw count (default 1000) and the
+	// pass/fail ENOB spec (default bits−1).
+	Draws   int     `json:"draws,omitempty"`
+	MinENOB float64 `json:"minEnob,omitempty"`
+}
+
+// Yield reports whether the request asks for the Monte-Carlo sign-off
+// lane: synthesize first, then sample mismatch realizations.
+func (r StudyRequest) Yield() bool { return r.Mode == "yield" }
+
+// YieldSpec translates the request's yield knobs into the engine spec.
+// Zero fields take the yield.Spec defaults for the target resolution.
+func (r StudyRequest) YieldSpec() yield.Spec {
+	return yield.Spec{Draws: r.Draws, MinENOB: r.MinENOB}
+}
+
+// JobKey is the content address the manager single-flights, dedupes, and
+// journals on. Plain studies address by core.StudyKey; yield jobs extend
+// it with the canonical yield spec, so a study and a yield analysis of
+// the same design never collide, while re-submitted identical yield
+// requests do.
+func (r StudyRequest) JobKey(opts core.Options) string {
+	key := core.StudyKey(opts)
+	if r.Yield() {
+		key = yield.Key(key, r.Bits, r.YieldSpec())
+	}
+	return key
 }
 
 // Options validates the request and translates it into engine options.
@@ -55,9 +86,25 @@ func (r StudyRequest) Options() (core.Options, error) {
 	if r.SampleRate < 0 || r.VRef < 0 || r.Evals < 0 || r.Pattern < 0 || r.Restarts < 0 {
 		return core.Options{}, fmt.Errorf("negative knob in request")
 	}
-	mode, err := ParseMode(r.Mode)
-	if err != nil {
-		return core.Options{}, err
+	// Yield knobs are meaningless outside the yield lane; reject rather
+	// than silently ignore, so a typo'd mode can't drop a 10k-draw ask.
+	if !r.Yield() && (r.Draws != 0 || r.MinENOB != 0) {
+		return core.Options{}, fmt.Errorf("draws/minEnob require mode %q", "yield")
+	}
+	if r.Draws < 0 || r.Draws > 100000 {
+		return core.Options{}, fmt.Errorf("draws %d out of range [0, 100000]", r.Draws)
+	}
+	if r.MinENOB < 0 || r.MinENOB > float64(r.Bits) {
+		return core.Options{}, fmt.Errorf("minEnob %g out of range [0, bits]", r.MinENOB)
+	}
+	// The yield lane always synthesizes with the full hybrid evaluator —
+	// its error model is derived from the simulated stage metrics.
+	mode := hybrid.Hybrid
+	if !r.Yield() {
+		var err error
+		if mode, err = ParseMode(r.Mode); err != nil {
+			return core.Options{}, err
+		}
 	}
 	return core.Options{
 		Bits:       r.Bits,
@@ -112,6 +159,9 @@ type StudyJSON struct {
 	// Behavioral is the optional closed-loop sine-test verdict (the
 	// adcsyn -verify -json path fills it; the daemon leaves it nil).
 	Behavioral *BehavioralJSON `json:"behavioral,omitempty"`
+	// Yield is the Monte-Carlo sign-off outcome; only mode "yield" jobs
+	// carry it.
+	Yield *yield.Result `json:"yield,omitempty"`
 }
 
 // BehavioralJSON is the behavioral sine-test outcome for the best

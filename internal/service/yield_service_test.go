@@ -1,0 +1,178 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesyn/internal/service"
+)
+
+// tinyYield is a yield-mode request small enough for CI: a modest
+// converter, a tiny synthesis budget, and a few dozen draws.
+func tinyYield(bits, draws int) service.StudyRequest {
+	return service.StudyRequest{
+		Bits: bits, Mode: "yield", Evals: 8, Pattern: 6, Seed: 3, Draws: draws,
+	}
+}
+
+func TestServiceYieldLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("yield job synthesizes in hybrid mode (seconds)")
+	}
+	man := service.NewManager(service.Config{Workers: 2, QueueCap: 4})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	req := tinyYield(8, 48)
+	resp, sub := postStudy(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	st := waitState(t, ts, sub.ID, service.StateDone)
+	res := st.Result
+	if res == nil || res.Yield == nil {
+		t.Fatalf("yield job finished without a yield result: %+v", res)
+	}
+	if res.Mode != "yield" {
+		t.Fatalf("result mode %q, want yield", res.Mode)
+	}
+	y := res.Yield
+	if y.Draws != 48 || len(res.Best.Config) == 0 {
+		t.Fatalf("implausible yield result %+v over %+v", y, res.Best)
+	}
+	if y.MinENOB != 7 { // default: bits − 1
+		t.Fatalf("defaulted MinENOB %g, want 7", y.MinENOB)
+	}
+	if y.ENOB.Min > y.ENOB.P50 || y.ENOB.P50 > y.ENOB.Max || y.ENOB.Max <= 0 {
+		t.Fatalf("ENOB distribution out of order: %+v", y.ENOB)
+	}
+	if y.Pass < 0 || y.Pass > y.Draws || y.Yield != float64(y.Pass)/float64(y.Draws) {
+		t.Fatalf("inconsistent pass accounting: %+v", y)
+	}
+
+	// The event stream replayed chunk-granular yield progress.
+	evResp, err := http.Get(ts.URL + "/v1/studies/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	chunks := 0
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == "progress" && ev.Progress != nil && ev.Progress.Kind == "yield_chunk" {
+			chunks++
+			if ev.Progress.Draws != 48 || ev.Progress.Done < 1 || ev.Progress.Done > 48 {
+				t.Fatalf("bad yield chunk %+v", ev.Progress)
+			}
+		}
+	}
+	if chunks < 2 { // 48 draws at chunk 32 → one mid-run chunk plus the final one
+		t.Fatalf("saw %d yield_chunk events, want >= 2", chunks)
+	}
+
+	// The scrape carries the draw counters and the ENOB histogram.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, _ := io.ReadAll(mresp.Body)
+	text := string(blob)
+	for _, want := range []string{
+		`adcsynd_yield_draws_total{result="pass"}`,
+		`adcsynd_yield_draws_total{result="fail"}`,
+		`adcsynd_yield_enob_bucket{le="+Inf"} 48`,
+		"adcsynd_yield_enob_count 48",
+		"adcsynd_yield_enob_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if man.Metrics().YieldDraws() != 48 {
+		t.Fatalf("metrics saw %d draws, want 48", man.Metrics().YieldDraws())
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// The determinism contract holds through the whole serving stack: the
+// same yield request answered by daemons with different worker counts
+// produces identical distributions.
+func TestServiceYieldDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two hybrid syntheses")
+	}
+	run := func(workers int) *service.StudyJSON {
+		man := service.NewManager(service.Config{Workers: workers, QueueCap: 4})
+		man.Start()
+		defer man.Drain(time.Second)
+		ts := httptest.NewServer(service.NewServer(man))
+		defer ts.Close()
+		_, sub := postStudy(t, ts, tinyYield(8, 32))
+		return waitState(t, ts, sub.ID, service.StateDone).Result
+	}
+	a, b := run(1), run(4)
+	if a == nil || b == nil || a.Yield == nil || b.Yield == nil {
+		t.Fatal("missing yield results")
+	}
+	if !reflect.DeepEqual(a.Yield, b.Yield) {
+		t.Fatalf("yield differs across worker counts:\n1 worker: %+v\n4 workers: %+v", a.Yield, b.Yield)
+	}
+	if !reflect.DeepEqual(a.Best, b.Best) {
+		t.Fatalf("best design differs across worker counts")
+	}
+}
+
+func TestYieldRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  service.StudyRequest
+	}{
+		{"draws without yield mode", service.StudyRequest{Bits: 10, Mode: "equation", Draws: 100}},
+		{"minEnob without yield mode", service.StudyRequest{Bits: 10, MinENOB: 8}},
+		{"negative draws", service.StudyRequest{Bits: 10, Mode: "yield", Draws: -1}},
+		{"draws over cap", service.StudyRequest{Bits: 10, Mode: "yield", Draws: 1 << 20}},
+		{"minEnob above bits", service.StudyRequest{Bits: 10, Mode: "yield", MinENOB: 11}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.req.Options(); err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+		}
+	}
+
+	// A yield job and the plain study of the same design must not share
+	// a single-flight identity, while draw count shapes the yield key.
+	yreq := service.StudyRequest{Bits: 10, Mode: "yield", Seed: 3, Draws: 100}
+	plain := service.StudyRequest{Bits: 10, Mode: "hybrid", Seed: 3}
+	yopts, err := yreq.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts, err := plain.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yreq.JobKey(yopts) == plain.JobKey(popts) {
+		t.Fatal("yield job key must differ from the underlying study key")
+	}
+	more := yreq
+	more.Draws = 200
+	if more.JobKey(yopts) == yreq.JobKey(yopts) {
+		t.Fatal("draw count must shape the yield job key")
+	}
+}

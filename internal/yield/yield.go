@@ -1,0 +1,386 @@
+// Package yield is the Monte-Carlo design-signoff layer: it maps a
+// synthesized pipeline (a core.Study) onto a process-variation error
+// model, samples N mismatch realizations, runs the full behavioral sine
+// test per realization on the shared scheduler pool, and reports the
+// ENOB/SNDR distributions plus the parametric yield against a spec.
+//
+// Determinism is the load-bearing contract. Every draw's random stream is
+// seeded from (study content address, draw index) alone — DrawSeed — so
+// draw k sees the same mismatch realization regardless of worker count,
+// scheduling order, or which other draws ran before it; the reduction
+// happens in draw-index order. Two runs of the same study key and spec
+// are bit-identical, whether they ran on 1 worker or 64, in one process
+// or across a crash/recovery boundary.
+//
+// The error model (FromStudy) is derived from what the synthesis engine
+// actually designed, not from free-floating knobs:
+//
+//   - capacitor mismatch: Pelgrom scaling σ(ΔC/C) = CapA/√(Cu/1fF) of
+//     the stage's unit capacitor Cu = CSample/G — bigger synthesized
+//     caps really do yield better. It enters twice, as a closed-loop
+//     gain-error draw and as per-DAC-level static errors
+//     (adcsim.StageModel.DACMismatch), the component digital correction
+//     cannot absorb.
+//   - comparator offset: the sub-ADC was designed to tolerate
+//     CompOffsetTol, assumed to sit OffsetMargin sigmas out, so each
+//     comparator's threshold offset draws from σ = Tol/Margin.
+//   - noise: the kT/C of the synthesized sampling capacitor.
+//   - gain/settling: the amplifier's loop-gain shortfall (StaticError)
+//     as the systematic gain error, and the unsettled residue fraction
+//     exp(−2π·fc·Tsettle) implied by the measured crossover.
+package yield
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"pipesyn/internal/adcsim"
+	"pipesyn/internal/core"
+	"pipesyn/internal/dsp"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/sched"
+	"pipesyn/internal/stagespec"
+)
+
+// Spec configures one Monte-Carlo yield analysis. The zero value means
+// "defaults for the target resolution" — WithDefaults canonicalizes, and
+// Key hashes the canonical form, so requests that spell the defaults out
+// share a content address with requests that omit them.
+type Spec struct {
+	// Draws is the number of process realizations (default 1000).
+	Draws int `json:"draws"`
+	// MinENOB is the pass/fail spec (default: target resolution − 1, the
+	// customary behavioral sign-off line).
+	MinENOB float64 `json:"minEnob"`
+	// Points is the sine-test length, a power of two (default 4096).
+	Points int `json:"points"`
+	// Amplitude is the test amplitude relative to full scale (default
+	// 0.95, clear of the clamp rails).
+	Amplitude float64 `json:"amplitude"`
+	// CapA is the Pelgrom matching coefficient: σ(ΔC/C) of a 1 fF unit
+	// capacitor (default 1e-3; matching improves with √C).
+	CapA float64 `json:"capA"`
+	// OffsetMargin says how many sigmas out the synthesized comparator
+	// offset tolerance sits (default 3): σ_offset = CompOffsetTol/Margin.
+	OffsetMargin float64 `json:"offsetMargin"`
+	// Chunk is the progress granularity in draws (default 32). It shapes
+	// reporting only, never the result.
+	Chunk int `json:"-"`
+}
+
+// WithDefaults returns the canonical form of the spec for a converter of
+// the given target resolution.
+func (s Spec) WithDefaults(bits int) Spec {
+	if s.Draws <= 0 {
+		s.Draws = 1000
+	}
+	if s.MinENOB <= 0 {
+		s.MinENOB = float64(bits) - 1
+	}
+	if s.Points <= 0 {
+		s.Points = 4096
+	}
+	if s.Amplitude <= 0 {
+		s.Amplitude = 0.95
+	}
+	if s.CapA <= 0 {
+		s.CapA = 1e-3
+	}
+	if s.OffsetMargin <= 0 {
+		s.OffsetMargin = 3
+	}
+	if s.Chunk <= 0 {
+		s.Chunk = 32
+	}
+	return s
+}
+
+// Key is the content address of a yield analysis: the synthesis study
+// key extended with every yield-shaping knob (canonicalized first, so
+// defaulted and spelled-out requests collide). Chunk is excluded — it
+// shapes progress reporting, not results. The serving layer single-
+// flights and journals yield jobs on this key.
+func Key(studyKey string, bits int, s Spec) string {
+	s = s.WithDefaults(bits)
+	blob, err := json.Marshal(struct {
+		StudyKey string
+		Spec     Spec
+	}{studyKey, s})
+	if err != nil {
+		panic(fmt.Sprintf("yield: key marshal: %v", err)) // value fields only
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// DrawSeed derives draw k's RNG seed from the study content address and
+// the draw index alone. This is the whole reproducibility story: the
+// seed does not depend on worker count, draw scheduling order, or any
+// process state, so draw k is the same draw everywhere, forever.
+func DrawSeed(studyKey string, draw int) int64 {
+	h := sha256.New()
+	h.Write([]byte(studyKey))
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(draw))
+	h.Write(idx[:])
+	sum := h.Sum(nil)
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// StageDist is the per-stage error distribution sampled once per draw.
+type StageDist struct {
+	Bits            int
+	GainErrorNom    float64 // systematic closed-loop gain error (loop-gain shortfall)
+	GainSigma       float64 // σ of the capacitor-ratio gain-error draw
+	SettleError     float64 // unsettled residue fraction at the end of the window
+	NoiseRMS        float64 // input-referred kT/C noise, V
+	CompOffsetSigma float64 // per-comparator threshold offset σ, V
+	CapSigma        float64 // per-unit-capacitor σ(ΔC/C) — drives DAC-level mismatch
+}
+
+// Model is a synthesized design mapped to its behavioral error
+// distributions, ready to sample.
+type Model struct {
+	Config     enum.Config // full pipeline including the correction tail
+	VRef       float64
+	SampleRate float64
+	Stages     []StageDist // one per pipeline stage (tail stages included)
+}
+
+// FromStudy maps the study's best candidate onto a Model using the block
+// specs the synthesis actually ran against and the per-stage hybrid
+// metrics it produced. Tail stages beyond the costed leading stages
+// carry the last leading stage's comparator-offset distribution (their
+// errors are attenuated by the upstream gain, so this is conservative)
+// and no amplifier errors.
+func FromStudy(st *core.Study, opts core.Options, spec Spec) (*Model, error) {
+	opts = opts.WithDefaults()
+	spec = spec.WithDefaults(st.Bits)
+	full, err := st.Best.Config.WithTail(st.Bits)
+	if err != nil {
+		return nil, err
+	}
+	adc := stagespec.ADCSpec{Bits: st.Bits, SampleRate: st.SampleRate, VRef: opts.VRef, Process: opts.Process}
+	specs, err := stagespec.Translate(adc, st.Best.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != len(st.Best.Stages) {
+		return nil, fmt.Errorf("yield: %d specs for %d costed stages", len(specs), len(st.Best.Stages))
+	}
+	m := &Model{Config: full, VRef: opts.VRef, SampleRate: st.SampleRate}
+	for i, sr := range st.Best.Stages {
+		sp := specs[i]
+		g := float64(int(1) << (sr.Bits - 1))
+		// Pelgrom: the unit capacitor is the sampling bank split across
+		// the G DAC units; matching scales with 1/√C.
+		unitFF := sp.CSample / g / 1e-15
+		capSigma := spec.CapA / math.Sqrt(math.Max(unitFF, 1))
+		// Single-pole settling residue implied by the measured loop
+		// crossover over the synthesized settling window; an unsettled
+		// verdict floors it at the spec tolerance.
+		settle := 0.0
+		if fc := sr.Metrics.CrossoverHz; fc > 0 && sp.TSettle > 0 {
+			settle = math.Exp(-2 * math.Pi * fc * sp.TSettle)
+		}
+		if !sr.Metrics.Settled && settle < sp.SettleTol {
+			settle = sp.SettleTol
+		}
+		m.Stages = append(m.Stages, StageDist{
+			Bits:            sr.Bits,
+			GainErrorNom:    -sr.Metrics.StaticError,
+			GainSigma:       capSigma * math.Sqrt(1+1/g), // Cs/Cf ratio of G units over 1
+			SettleError:     settle,
+			NoiseRMS:        math.Sqrt(opts.Process.KTOverC(sp.CSample)),
+			CompOffsetSigma: sp.CompOffsetTol / spec.OffsetMargin,
+			CapSigma:        capSigma,
+		})
+	}
+	for i := len(specs); i < len(full); i++ {
+		m.Stages = append(m.Stages, StageDist{
+			Bits:            full[i],
+			CompOffsetSigma: m.Stages[len(specs)-1].CompOffsetSigma,
+		})
+	}
+	return m, nil
+}
+
+// Draw is one mismatch realization's verdict.
+type Draw struct {
+	ENOB   float64 `json:"enob"`
+	SNDRdB float64 `json:"sndrDb"`
+	SFDRdB float64 `json:"sfdrDb"`
+	Pass   bool    `json:"pass"`
+}
+
+// RunDraw samples one realization from the model under the given seed
+// and runs the behavioral sine test. The sampling order is fixed (stage
+// by stage: gain draw, then DAC levels), so a seed fully determines the
+// realization. A converter so broken that no signal survives scores
+// ENOB 0 and fails rather than erroring: catastrophe is a yield outcome.
+func (m *Model) RunDraw(seed int64, spec Spec) (Draw, error) {
+	spec = spec.WithDefaults(m.Config.Resolution())
+	rng := rand.New(rand.NewSource(seed))
+	conv, err := adcsim.New(m.Config, m.VRef, seed)
+	if err != nil {
+		return Draw{}, err
+	}
+	if len(m.Stages) != len(conv.Stages) {
+		return Draw{}, fmt.Errorf("yield: model has %d stages, converter %d", len(m.Stages), len(conv.Stages))
+	}
+	for i, sd := range m.Stages {
+		sm := conv.Stages[i]
+		sm.GainError = sd.GainErrorNom
+		if sd.GainSigma > 0 {
+			sm.GainError += rng.NormFloat64() * sd.GainSigma
+		}
+		sm.SettleError = sd.SettleError
+		sm.NoiseRMS = sd.NoiseRMS
+		sm.CompOffsetRMS = sd.CompOffsetSigma
+		if sd.CapSigma > 0 {
+			g := 1 << (sm.Bits - 1)
+			mm := make([]float64, 2*g-1)
+			for j := range mm {
+				// Level d switches |d| unit caps: its error grows as √|d|.
+				d := float64(j - (g - 1))
+				mm[j] = rng.NormFloat64() * sd.CapSigma * math.Sqrt(math.Abs(d))
+			}
+			sm.DACMismatch = mm
+		}
+		if err := conv.SetStage(i, sm); err != nil {
+			return Draw{}, err
+		}
+	}
+	fSig, _ := dsp.CoherentBin(m.SampleRate, m.SampleRate/17, spec.Points)
+	samples := conv.SineTest(m.SampleRate, fSig, spec.Points, spec.Amplitude)
+	met, err := dsp.SineTestMetrics(samples, m.SampleRate)
+	if err != nil {
+		return Draw{Pass: false}, nil
+	}
+	return Draw{ENOB: met.ENOB, SNDRdB: met.SNDRdB, SFDRdB: met.SFDRdB,
+		Pass: met.ENOB >= spec.MinENOB}, nil
+}
+
+// Dist summarizes one metric's distribution over the draws.
+type Dist struct {
+	Min  float64 `json:"min"`
+	P05  float64 `json:"p05"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// distOf reduces values (draw order) to a Dist. Percentiles use the
+// deterministic nearest-rank convention on the sorted copy.
+func distOf(values []float64) Dist {
+	if len(values) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	pct := func(q float64) float64 {
+		i := int(math.Round(q * float64(len(s)-1)))
+		return s[i]
+	}
+	return Dist{
+		Min: s[0], Max: s[len(s)-1], Mean: sum / float64(len(values)),
+		P05: pct(0.05), P50: pct(0.50), P95: pct(0.95),
+	}
+}
+
+// Result is a completed yield analysis.
+type Result struct {
+	Draws   int     `json:"draws"`
+	Pass    int     `json:"pass"`
+	Yield   float64 `json:"yield"`
+	MinENOB float64 `json:"minEnob"`
+	ENOB    Dist    `json:"enob"`
+	SNDRdB  Dist    `json:"sndrDb"`
+	// ENOBs holds every draw's ENOB in draw-index order — the raw
+	// material for histograms and for bit-identity assertions in tests.
+	ENOBs []float64 `json:"-"`
+}
+
+// Progress is one chunk-granular observation during a run. Done and Pass
+// are monotone counters over completed draws (completion order, which is
+// scheduling-dependent — unlike the result, which is not).
+type Progress struct {
+	Done  int
+	Draws int
+	Pass  int
+}
+
+// Hooks observe a run. Both callbacks fire on worker goroutines and must
+// be safe for concurrent use; neither influences the result.
+type Hooks struct {
+	Progress func(Progress)      // every Chunk completed draws, and at the end
+	Draw     func(i int, d Draw) // every completed draw (metrics histograms)
+}
+
+// Run executes the Monte-Carlo analysis on the pool: spec.Draws
+// realizations, each seeded by DrawSeed(studyKey, i), reduced in draw
+// order. Cancelling ctx aborts within one draw. The result is
+// bit-identical for any worker count.
+func Run(ctx context.Context, pool *sched.Pool, m *Model, studyKey string, spec Spec, hooks Hooks) (*Result, error) {
+	spec = spec.WithDefaults(m.Config.Resolution())
+	if pool == nil {
+		pool = sched.NewPool(0)
+	}
+	draws := make([]Draw, spec.Draws)
+	errs := make([]error, spec.Draws)
+	var done, pass atomic.Int64
+	if err := pool.ForEach(ctx, spec.Draws, func(i int) {
+		d, err := m.RunDraw(DrawSeed(studyKey, i), spec)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		draws[i] = d
+		if hooks.Draw != nil {
+			hooks.Draw(i, d)
+		}
+		if d.Pass {
+			pass.Add(1) // before done.Add: the final chunk sees every pass
+		}
+		n := int(done.Add(1))
+		if hooks.Progress != nil && (n%spec.Chunk == 0 || n == spec.Draws) {
+			hooks.Progress(Progress{Done: n, Draws: spec.Draws, Pass: int(pass.Load())})
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("yield: draw %d: %w", i, err)
+		}
+	}
+
+	res := &Result{Draws: spec.Draws, MinENOB: spec.MinENOB}
+	enobs := make([]float64, spec.Draws)
+	sndrs := make([]float64, spec.Draws)
+	for i, d := range draws {
+		enobs[i] = d.ENOB
+		sndrs[i] = d.SNDRdB
+		if d.Pass {
+			res.Pass++
+		}
+	}
+	res.Yield = float64(res.Pass) / float64(spec.Draws)
+	res.ENOB = distOf(enobs)
+	res.SNDRdB = distOf(sndrs)
+	res.ENOBs = enobs
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package yield
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"pipesyn/internal/core"
+	"pipesyn/internal/enum"
+	"pipesyn/internal/hybrid"
+	"pipesyn/internal/sched"
+	"pipesyn/internal/synth"
+)
+
+// testModel is a 10-bit pipeline with mismatch magnitudes that produce a
+// non-trivial yield (some draws pass, some fail) so distribution and
+// determinism assertions bite.
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	full, err := enum.Config{3, 2, 2}.WithTail(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Config: full, VRef: 1.0, SampleRate: 40e6}
+	for i, bits := range full {
+		sd := StageDist{Bits: bits, CompOffsetSigma: 1.0 / 48}
+		if i < 3 {
+			sd.GainSigma = 1.5e-3
+			sd.CapSigma = 1.5e-3
+			sd.NoiseRMS = 2e-4
+		}
+		m.Stages = append(m.Stages, sd)
+	}
+	return m
+}
+
+func TestDrawSeedContract(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		s := DrawSeed("key-a", i)
+		if s != DrawSeed("key-a", i) {
+			t.Fatalf("draw %d seed not stable", i)
+		}
+		if seen[s] {
+			t.Fatalf("draw %d seed collides", i)
+		}
+		seen[s] = true
+	}
+	if DrawSeed("key-a", 0) == DrawSeed("key-b", 0) {
+		t.Fatal("different study keys must give different draw streams")
+	}
+}
+
+func TestKeyCanonicalizesDefaults(t *testing.T) {
+	explicit := Spec{Draws: 1000, MinENOB: 9, Points: 4096, Amplitude: 0.95, CapA: 1e-3, OffsetMargin: 3}
+	if Key("sk", 10, Spec{}) != Key("sk", 10, explicit) {
+		t.Fatal("spelled-out defaults must share the zero spec's key")
+	}
+	if Key("sk", 10, Spec{Draws: 2000}) == Key("sk", 10, Spec{}) {
+		t.Fatal("draw count must shape the key")
+	}
+	if Key("sk", 10, Spec{Chunk: 7}) != Key("sk", 10, Spec{}) {
+		t.Fatal("chunk is reporting-only and must not shape the key")
+	}
+	if Key("sk2", 10, Spec{}) == Key("sk", 10, Spec{}) {
+		t.Fatal("study key must shape the yield key")
+	}
+}
+
+// The reproducibility contract: identical results — bit for bit, per
+// draw — whether the draws run serially or spread across workers.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	m := testModel(t)
+	spec := Spec{Draws: 96, MinENOB: 9, Points: 1024, Chunk: 16}
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), sched.NewPool(workers), m, "study-key", spec, Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Pass != parallel.Pass || serial.Yield != parallel.Yield {
+		t.Fatalf("yield differs: serial %d/%f parallel %d/%f",
+			serial.Pass, serial.Yield, parallel.Pass, parallel.Yield)
+	}
+	for i := range serial.ENOBs {
+		if serial.ENOBs[i] != parallel.ENOBs[i] {
+			t.Fatalf("draw %d ENOB differs: %v vs %v", i, serial.ENOBs[i], parallel.ENOBs[i])
+		}
+	}
+	if serial.ENOB != parallel.ENOB || serial.SNDRdB != parallel.SNDRdB {
+		t.Fatalf("distributions differ: %+v vs %+v", serial.ENOB, parallel.ENOB)
+	}
+	// Sanity on the spread: a mismatch model must actually disperse.
+	if serial.ENOB.Min >= serial.ENOB.Max {
+		t.Fatalf("degenerate ENOB distribution: %+v", serial.ENOB)
+	}
+	if serial.Pass == 0 || serial.Pass == spec.Draws {
+		t.Logf("warning: degenerate yield %d/%d — thresholds may need retuning", serial.Pass, spec.Draws)
+	}
+}
+
+// A draw is a pure function of (studyKey, index): running a single draw
+// standalone reproduces the same realization the batch run saw.
+func TestRunDrawMatchesBatch(t *testing.T) {
+	m := testModel(t)
+	spec := Spec{Draws: 16, MinENOB: 9, Points: 1024}
+	res, err := Run(context.Background(), sched.NewPool(4), m, "sk", spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 7, 15} {
+		d, err := m.RunDraw(DrawSeed("sk", i), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ENOB != res.ENOBs[i] {
+			t.Fatalf("draw %d standalone ENOB %v != batch %v", i, d.ENOB, res.ENOBs[i])
+		}
+	}
+}
+
+func TestRunHooksAndCancel(t *testing.T) {
+	m := testModel(t)
+	spec := Spec{Draws: 48, MinENOB: 9, Points: 512, Chunk: 8}
+	var drawCount atomic.Int64
+	var last Progress
+	res, err := Run(context.Background(), sched.NewPool(1), m, "sk", spec, Hooks{
+		Progress: func(p Progress) { last = p },
+		Draw:     func(int, Draw) { drawCount.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(drawCount.Load()) != spec.Draws {
+		t.Fatalf("draw hook fired %d times, want %d", drawCount.Load(), spec.Draws)
+	}
+	if last.Done != spec.Draws || last.Pass != res.Pass {
+		t.Fatalf("final progress %+v disagrees with result pass=%d", last, res.Pass)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, sched.NewPool(2), m, "sk", spec, Hooks{}); err == nil {
+		t.Fatal("cancelled run must surface ctx error")
+	}
+}
+
+// FromStudy end to end on a cheap equation-mode synthesis: the model
+// must carry spec-derived distributions, and the analysis of a sound
+// design should pass a relaxed spec for most draws.
+func TestFromStudyAndRun(t *testing.T) {
+	opts := core.Options{
+		Bits: 10, SampleRate: 40e6, Mode: hybrid.EquationOnly,
+		Workers: 1,
+		Synth:   synth.Options{Seed: 1, MaxEvals: 60, PatternIter: 40},
+	}
+	st, err := core.Optimize(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Draws: 32, MinENOB: 8, Points: 1024}
+	m, err := FromStudy(st, opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) != len(m.Config) {
+		t.Fatalf("model has %d stage dists for %d stages", len(m.Stages), len(m.Config))
+	}
+	lead := m.Stages[0]
+	if lead.NoiseRMS <= 0 || lead.CompOffsetSigma <= 0 || lead.CapSigma <= 0 {
+		t.Fatalf("leading stage lost its error model: %+v", lead)
+	}
+	// Tail stages carry comparator mismatch but no amplifier errors.
+	tail := m.Stages[len(m.Stages)-1]
+	if tail.CompOffsetSigma <= 0 || tail.CapSigma != 0 || tail.NoiseRMS != 0 {
+		t.Fatalf("tail stage model wrong: %+v", tail)
+	}
+	res, err := Run(context.Background(), sched.NewPool(2), m, core.StudyKey(opts), spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Draws != 32 || res.Yield < 0.5 {
+		t.Fatalf("sound 10-bit design should mostly clear ENOB 8: yield %.2f (%d/%d), ENOB %+v",
+			res.Yield, res.Pass, res.Draws, res.ENOB)
+	}
+}

@@ -8,10 +8,15 @@
 #            the SAME job id is re-enqueued (recovered event in its
 #            NDJSON stream, recovered counter on /metrics) and completes
 #            without resubmission.
+#   yield    run the same 200-draw mode:yield study on two daemons with
+#            different -workers and assert the Monte-Carlo results are
+#            bit-identical, yield_chunk progress streams, the yield
+#            counters land on /metrics — and (on boxes with >= 4 cores)
+#            that 8 workers beat 1 worker by >= 2x wall clock.
 #
-# SMOKE_LEG selects: all (default), main, or recover. `make serve-smoke`
-# runs both; `make recover-smoke` and the ci.sh persistence lane run the
-# recovery leg.
+# SMOKE_LEG selects: all (default), main, recover, or yield. `make
+# serve-smoke` runs every leg; `make recover-smoke` and the ci.sh
+# persistence lane run the recovery leg.
 set -eu
 
 PORT="${ADCSYND_PORT:-18650}"
@@ -156,10 +161,69 @@ recover_leg() {
   echo "serve-smoke: recovery leg ok (study $RID survived kill -9)"
 }
 
+yield_leg() {
+  YREQ='{"bits":8,"mode":"yield","evals":8,"pattern":6,"seed":3,"draws":200}'
+
+  # run_yield workers out_json out_secs_var: boot a daemon, run the study,
+  # capture the canonicalized yield result and the job wall clock.
+  run_yield() { # workers json_out log
+    "$TMP/adcsynd" -addr "127.0.0.1:$PORT" -queue 4 -workers "$1" \
+      -cache-dir "$TMP/ycache-$1" -drain-timeout 10s >"$3" 2>&1 &
+    PID=$!
+    wait_healthy "$3"
+    T0=$(date +%s)
+    YID=$(curl -sf -X POST "$BASE/v1/studies" -d "$YREQ" | jq -r .id)
+    [ -n "$YID" ] && [ "$YID" != null ] || { echo "serve-smoke: bad yield submit" >&2; exit 1; }
+    wait_state "$YID" done 600 "$3"
+    T1=$(date +%s)
+    YSECS=$((T1 - T0))
+
+    # The result carries the distributions; strip nothing — the whole
+    # yield object must match bit for bit across worker counts.
+    curl -sf "$BASE/v1/studies/$YID" \
+      | jq -S '.result | {mode, best: .best.config, yield: .yield}' >"$2"
+    jq -e '.mode == "yield" and .yield.draws == 200 and .yield.enob.min <= .yield.enob.max' "$2" >/dev/null \
+      || { echo "serve-smoke: implausible yield result:" >&2; cat "$2" >&2; exit 1; }
+
+    # Chunk-granular progress reached the NDJSON stream.
+    curl -sf --max-time 60 "$BASE/v1/studies/$YID/events" | grep -q '"yield_chunk"' \
+      || { echo "serve-smoke: no yield_chunk events on $YID" >&2; exit 1; }
+
+    # The draw counters and ENOB histogram landed on /metrics.
+    YMETRICS=$(curl -sf "$BASE/metrics")
+    echo "$YMETRICS" | grep -qF 'adcsynd_yield_enob_count 200' \
+      || { echo "serve-smoke: yield histogram missing from /metrics" >&2; echo "$YMETRICS" | grep adcsynd_yield >&2; exit 1; }
+    echo "$YMETRICS" | grep -q 'adcsynd_yield_draws_total{result="pass"} [0-9]' \
+      || { echo "serve-smoke: yield draw counter missing from /metrics" >&2; exit 1; }
+
+    sigterm_drain "$PID" "$3"
+    PID=""
+  }
+
+  run_yield 1 "$TMP/yield-w1.json" "$TMP/yield1.log"
+  SERIAL_SECS=$YSECS
+  run_yield 8 "$TMP/yield-w8.json" "$TMP/yield8.log"
+  PARALLEL_SECS=$YSECS
+
+  cmp -s "$TMP/yield-w1.json" "$TMP/yield-w8.json" \
+    || { echo "serve-smoke: yield result differs across worker counts" >&2; \
+         diff "$TMP/yield-w1.json" "$TMP/yield-w8.json" >&2 || true; exit 1; }
+
+  # Parallel speedup is only a fair ask when the box has cores to spend;
+  # CI containers with 1-2 CPUs run the determinism half only.
+  CORES=$(nproc 2>/dev/null || echo 1)
+  if [ "$CORES" -ge 4 ]; then
+    [ $((PARALLEL_SECS * 2)) -le "$SERIAL_SECS" ] \
+      || { echo "serve-smoke: 8 workers took ${PARALLEL_SECS}s vs ${SERIAL_SECS}s serial (want >= 2x)" >&2; exit 1; }
+  fi
+  echo "serve-smoke: yield leg ok (200 draws bit-identical at 1 vs 8 workers; ${SERIAL_SECS}s vs ${PARALLEL_SECS}s on $CORES cores)"
+}
+
 case "$LEG" in
-all) main_leg; recover_leg ;;
+all) main_leg; recover_leg; yield_leg ;;
 main) main_leg ;;
 recover) recover_leg ;;
-*) echo "serve-smoke: unknown SMOKE_LEG=$LEG (want all, main, or recover)" >&2; exit 2 ;;
+yield) yield_leg ;;
+*) echo "serve-smoke: unknown SMOKE_LEG=$LEG (want all, main, recover, or yield)" >&2; exit 2 ;;
 esac
 echo "serve-smoke: ok"
