@@ -2,7 +2,7 @@
 # scheduler must keep green: vet + full tests + the race-detector lane.
 GO ?= go
 
-.PHONY: build test vet race bench benchdiff bench-figures serve-smoke recover-smoke yield-smoke persist ci
+.PHONY: build test vet race bench benchdiff bench-figures serve-smoke recover-smoke yield-smoke cluster-smoke persist ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ recover-smoke:
 yield-smoke:
 	SMOKE_LEG=yield ./scripts/serve_smoke.sh
 
+# Sharded-cluster smoke: three nodes on loopback — consistent-hash
+# routing with cluster-wide dedupe, a zero-evaluation peer-cache run on
+# a cold node, bit-identical results vs a single-node daemon, and a
+# kill -9 lease takeover that finishes the same job id on a survivor.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # Persistence lane: journal replay, crash recovery, retention/leak, and
 # cache-durability tests under the race detector.
 persist:
@@ -71,4 +78,4 @@ benchdiff:
 bench-figures:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: vet test race persist serve-smoke
+ci: vet test race persist serve-smoke cluster-smoke

@@ -24,12 +24,22 @@ go test -race -run 'Recover|Retention|Retain|Journal|RetryAfter|Leak|CacheDisk' 
 # (per-draw seeds, order-independent mismatch streams) is what the
 # concurrent draws lean on.
 go test -race ./internal/yield ./internal/adcsim ./internal/dsp
+# Cluster lane: the consistent-hash ring and the 3-node in-process
+# cluster tests (routing/dedupe, peer cache fill, lease takeover, hop
+# guard) under the race detector — the membership, replication, and
+# proxy paths are all concurrent by construction.
+go test -race ./internal/cluster
 # End-to-end daemon smoke, all legs: boot → study over HTTP → cached
 # rerun → /metrics → SIGTERM drain; the kill -9 crash-recovery leg (same
 # -state-dir restart must finish the interrupted study); and the yield
 # leg (200-draw mode:yield study bit-identical across daemons with
 # different -workers, yield counters on /metrics).
 ./scripts/serve_smoke.sh
+# Sharded-cluster smoke: three loopback nodes — cluster-wide dedupe via
+# ring routing, a zero-evaluation peer-cache run on a cold node,
+# bit-identical results vs a single-node daemon, and a kill -9 lease
+# takeover completing the same job id on a survivor.
+./scripts/cluster_smoke.sh
 # Sparse-solver lane: the sparse/dense bit-exactness, symbolic-coverage,
 # modified-Newton determinism, ordered-pivot equivalence, and
 # batched-evaluation equivalence tests under the race detector — the

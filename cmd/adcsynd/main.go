@@ -8,6 +8,8 @@
 //	adcsynd [-addr :8080] [-workers 0] [-queue 16] [-executors 1]
 //	        [-cache-dir DIR] [-state-dir DIR] [-retain 256] [-retain-age 1h]
 //	        [-job-timeout 0] [-drain-timeout 30s] [-pprof ADDR]
+//	        [-node URL -peers URL,URL,... [-vnodes 64] [-lease 10s]
+//	         [-heartbeat 1s] [-metrics-aggregate]]
 //
 // Endpoints:
 //
@@ -17,13 +19,13 @@
 //	                              then samples mismatch draws — progress
 //	                              streams as yield_chunk events, results
 //	                              carry the ENOB/SNDR distributions + yield
-
 //	GET    /v1/studies            list jobs (?state= filters; /v1/jobs alias)
 //	GET    /v1/studies/{id}       status + result
 //	GET    /v1/studies/{id}/events NDJSON progress stream
 //	DELETE /v1/studies/{id}       cancel
 //	GET    /metrics               Prometheus text format
-//	GET    /healthz               readiness (503 while draining)
+//	GET    /healthz               liveness (always 200 while serving)
+//	GET    /readyz                readiness (503 while draining or replaying)
 //
 // Identical concurrent submissions (same content address over every
 // study-shaping knob) share one execution. A full queue answers 429 with
@@ -31,6 +33,14 @@
 // queueing unboundedly. On SIGTERM/SIGINT the daemon stops admitting,
 // rejects queued jobs, gives in-flight jobs -drain-timeout to finish,
 // then cancels them and exits.
+//
+// Cluster mode (-node + -peers) shards the daemon with a consistent-hash
+// ring: submits route to the key's ring owner (so identical studies
+// dedupe cluster-wide), cache misses fill from peers, and each admitted
+// job's claim is lease-replicated to a ring successor that re-enqueues
+// it under the same id if the owner dies. Adds /v1/cluster/health,
+// /v1/cluster/status, /v1/cluster/replicate, and /v1/cache/{key}.
+// See DESIGN.md §5.8.
 //
 // With -state-dir set, every admitted job is journaled to an fsync'd
 // append-only log: after a crash (kill -9 included) a restart with the
@@ -52,9 +62,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pipesyn/internal/cluster"
 	"pipesyn/internal/service"
 	"pipesyn/internal/synth"
 )
@@ -72,7 +84,18 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per study (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
 	pprofAddr := flag.String("pprof", "", "loopback address for net/http/pprof, e.g. 127.0.0.1:6060 (empty = off)")
+	nodeURL := flag.String("node", "", "this node's advertised URL in cluster mode, e.g. http://10.0.0.3:8080 (empty = single node)")
+	peerURLs := flag.String("peers", "", "comma-separated peer URLs (cluster membership; self is implied)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per peer on the hash ring (0 = default 64)")
+	lease := flag.Duration("lease", 10*time.Second, "job claim lease; a dead owner's jobs move after this expires")
+	heartbeat := flag.Duration("heartbeat", time.Second, "peer health probe interval")
+	metricsAggregate := flag.Bool("metrics-aggregate", false, "probe all peers at /metrics scrape time for fresh per-peer gauges")
 	flag.Parse()
+
+	*nodeURL = strings.TrimRight(strings.TrimSpace(*nodeURL), "/")
+	if *nodeURL == "" && *peerURLs != "" {
+		fatal(fmt.Errorf("-peers requires -node (this node's advertised URL)"))
+	}
 
 	// Profiling is served on its own loopback listener with a dedicated
 	// mux: the debug surface never shares a port (or a handler tree) with
@@ -118,6 +141,8 @@ func main() {
 		Journal:    journal,
 		Retain:     *retain,
 		RetainAge:  *retainAge,
+		NodeID:     *nodeURL,
+		Lease:      *lease,
 	})
 	if journal != nil {
 		stats, err := man.Recover()
@@ -131,7 +156,34 @@ func main() {
 		}
 	}
 	man.Start()
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(man)}
+	local := service.NewServer(man)
+	var handler http.Handler = local
+	var node *cluster.Node
+	if *nodeURL != "" {
+		node, err = cluster.NewNode(cluster.Config{
+			Self:             *nodeURL,
+			Peers:            splitPeers(*peerURLs),
+			VirtualNodes:     *vnodes,
+			LeaseDuration:    *lease,
+			HeartbeatEvery:   *heartbeat,
+			AggregateMetrics: *metricsAggregate,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "adcsynd: "+format+"\n", args...)
+			},
+		}, man, cache, local)
+		if err != nil {
+			fatal(err)
+		}
+		// The cluster tier extends the cache: misses probe the key's ring
+		// owner, fresh entries replicate there.
+		cache.SetFill(node.CacheFill)
+		cache.SetPush(node.CachePush)
+		node.Start()
+		handler = node
+		fmt.Fprintf(os.Stderr, "adcsynd: cluster mode: %d peers, %d vnodes, lease %s\n",
+			node.Ring().Len(), node.Ring().VNodes(), *lease)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -149,6 +201,11 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "adcsynd: draining (grace %s)\n", *drainTimeout)
 	man.Drain(*drainTimeout)
+	if node != nil {
+		// After the drain every job is terminal: release the replicas so
+		// successors do not resurrect drained work, then stop the loops.
+		node.Shutdown()
+	}
 	// Jobs are terminal and event streams closed; active handlers finish
 	// within the shutdown grace.
 	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -157,6 +214,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "adcsynd: drained cleanly")
+}
+
+// splitPeers parses the -peers list, tolerating blanks and trailing
+// slashes (URLs are ring identities; a slash would split the keyspace).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

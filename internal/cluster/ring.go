@@ -1,0 +1,136 @@
+// Package cluster turns N independent adcsynd daemons into one sharded
+// service. The pieces build on invariants the single-node engine already
+// guarantees: a study is a deterministic function of its content address
+// (core.StudyKey / yield.Key), so *where* it runs never changes the
+// answer, and identical studies can be routed to one owner and
+// single-flighted cluster-wide.
+//
+//   - ring.go    consistent-hash ring: virtual nodes, SHA-256 placement,
+//     deterministic owner + successor order for any key
+//   - node.go    peer membership (heartbeats over /v1/cluster/health),
+//     lease-based job replication and takeover, and the
+//     peer cache fill/push hooks for the synthesis cache
+//   - handler.go the HTTP routing layer: wraps the local service.Server,
+//     proxies job traffic to ring owners with a hop guard,
+//     and serves the cluster endpoints
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-peer virtual-node count. 64 points per
+// peer keeps the max/mean load skew under ~20% for small clusters while
+// the ring stays a few KiB.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring: each peer contributes
+// vnodes points placed by SHA-256, and a key is owned by the first point
+// clockwise from the key's own hash. Construction is deterministic in
+// the peer *set* (input order is irrelevant), so every node that knows
+// the same membership computes the same owner for every key — the
+// property routing, cache fill, and lease handoff all lean on.
+type Ring struct {
+	vnodes int
+	peers  []string
+	points []ringPoint // sorted by hash, ties by peer
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256.
+// Study keys are themselves SHA-256 hex strings, but hashing again costs
+// nothing and lets arbitrary keys (peer names, cache keys) share the
+// same ring.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given peers (deduplicated; order does
+// not matter) with vnodes virtual nodes each (<=0 takes the default).
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, peers: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, p := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash64(p + "#" + strconv.Itoa(i)), p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Peers returns the member set, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Len reports the number of distinct peers.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// VNodes reports the per-peer virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// ownerIndex locates the first ring point clockwise from key's hash.
+func (r *Ring) ownerIndex(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return i
+}
+
+// Owner returns the peer that owns key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.ownerIndex(key)].peer
+}
+
+// Successors returns up to n distinct peers in ring order starting at
+// the key's owner. Successors(key, 1)[0] == Owner(key); the second entry
+// is the natural standby for lease-based handoff.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.ownerIndex(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("study-key-%04d", i)
+	}
+	return keys
+}
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// TestRingDistribution: key load per peer stays near uniform, and skew
+// shrinks as the virtual-node count grows. Checked across the full
+// vnode ladder so a placement regression at any config is caught.
+func TestRingDistribution(t *testing.T) {
+	keys := testKeys(4096)
+	peers := testPeers(5)
+	want := float64(len(keys)) / float64(len(peers))
+	for _, vnodes := range []int{1, 2, 4, 8, 16, 32, 64} {
+		ring := NewRing(peers, vnodes)
+		counts := make(map[string]int, len(peers))
+		for _, k := range keys {
+			owner := ring.Owner(k)
+			if owner == "" {
+				t.Fatalf("vnodes=%d: no owner for %q", vnodes, k)
+			}
+			counts[owner]++
+		}
+		// Every peer must own SOMETHING at every config...
+		for _, p := range peers {
+			if counts[p] == 0 && vnodes >= 4 {
+				t.Errorf("vnodes=%d: peer %s owns no keys", vnodes, p)
+			}
+		}
+		// ...and at the default config the skew must be modest.
+		if vnodes == DefaultVirtualNodes {
+			for p, c := range counts {
+				if ratio := float64(c) / want; ratio < 0.5 || ratio > 1.6 {
+					t.Errorf("vnodes=%d: peer %s owns %d keys (%.2fx the fair share)", vnodes, p, c, ratio)
+				}
+			}
+		}
+	}
+}
+
+// TestRingDeterministicOwner: the ring is a function of the peer SET —
+// shuffled membership lists, duplicate entries, and repeated
+// construction all place every key identically.
+func TestRingDeterministicOwner(t *testing.T) {
+	keys := testKeys(512)
+	peers := testPeers(7)
+	ref := NewRing(peers, 16)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		shuffled = append(shuffled, peers[trial%len(peers)]) // duplicate entry
+		ring := NewRing(shuffled, 16)
+		for _, k := range keys {
+			if got, want := ring.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: owner of %q = %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a peer moves only the keys it
+// takes over — every moved key moves TO the joiner, none between
+// incumbents — and the moved share is near 1/(n+1).
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := testKeys(4096)
+	peers := testPeers(5)
+	joiner := "http://10.0.0.99:8080"
+	before := NewRing(peers, DefaultVirtualNodes)
+	after := NewRing(append(append([]string(nil), peers...), joiner), DefaultVirtualNodes)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != joiner {
+			t.Fatalf("key %q moved %s → %s, not to the joiner", k, was, is)
+		}
+	}
+	share := float64(moved) / float64(len(keys))
+	ideal := 1.0 / float64(len(peers)+1)
+	if share < ideal/2 || share > ideal*2 {
+		t.Errorf("join moved %.1f%% of keys, want near %.1f%%", share*100, ideal*100)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a peer moves only ITS keys —
+// keys owned by survivors stay exactly where they were.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := testKeys(4096)
+	peers := testPeers(5)
+	leaver := peers[2]
+	before := NewRing(peers, DefaultVirtualNodes)
+	var rest []string
+	for _, p := range peers {
+		if p != leaver {
+			rest = append(rest, p)
+		}
+	}
+	after := NewRing(rest, DefaultVirtualNodes)
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == leaver {
+			if is == leaver {
+				t.Fatalf("key %q still owned by departed %s", k, leaver)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved %s → %s though its owner never left", k, was, is)
+		}
+	}
+}
+
+// TestRingSuccessors: the successor walk starts at the owner, yields
+// distinct peers, and covers the whole membership when asked for it.
+func TestRingSuccessors(t *testing.T) {
+	peers := testPeers(5)
+	ring := NewRing(peers, 8)
+	for _, k := range testKeys(64) {
+		succ := ring.Successors(k, len(peers)+3) // over-ask: clamps to membership
+		if len(succ) != len(peers) {
+			t.Fatalf("key %q: %d successors, want %d", k, len(succ), len(peers))
+		}
+		if succ[0] != ring.Owner(k) {
+			t.Fatalf("key %q: successors start at %s, owner is %s", k, succ[0], ring.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, p := range succ {
+			if seen[p] {
+				t.Fatalf("key %q: duplicate successor %s", k, p)
+			}
+			seen[p] = true
+		}
+	}
+	if got := ring.Successors("k", 1); len(got) != 1 || got[0] != ring.Owner("k") {
+		t.Fatalf("Successors(k,1) = %v, want [%s]", got, ring.Owner("k"))
+	}
+	if NewRing(nil, 4).Owner("k") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}

@@ -1,0 +1,146 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesyn/internal/service"
+)
+
+// TestServiceSubmitContentType: a submit with a non-JSON Content-Type is
+// refused with 415 before the body is read; an explicit JSON type and a
+// missing header both pass.
+func TestServiceSubmitContentType(t *testing.T) {
+	man := service.NewManager(service.Config{Workers: 1, QueueCap: 4})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	body, _ := json.Marshal(tinyStudy(10))
+	for _, tc := range []struct {
+		ct string
+		// reject: expect 415. Otherwise expect admission — 202, or 200
+		// when the submit dedupes against a still-in-flight twin.
+		reject bool
+	}{
+		{ct: "application/x-www-form-urlencoded", reject: true},
+		{ct: "text/plain", reject: true},
+		{ct: "application/json"},
+		{ct: "application/json; charset=utf-8"},
+		{ct: "application/study+json"},
+		{ct: ""}, // no header: trusted to be JSON
+	} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/studies", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.ct != "" {
+			req.Header.Set("Content-Type", tc.ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch {
+		case tc.reject && resp.StatusCode != http.StatusUnsupportedMediaType:
+			t.Fatalf("Content-Type %q: HTTP %d, want 415", tc.ct, resp.StatusCode)
+		case !tc.reject && resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK:
+			t.Fatalf("Content-Type %q: HTTP %d, want 202/200", tc.ct, resp.StatusCode)
+		}
+	}
+}
+
+// TestServiceSubmitBodyLimit: a body over MaxStudyBodyBytes answers 413,
+// and the oversized submit is not admitted.
+func TestServiceSubmitBodyLimit(t *testing.T) {
+	man := service.NewManager(service.Config{Workers: 1, QueueCap: 4})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	// Valid JSON, just bloated past the cap with an ignored field.
+	huge := `{"bits": 10, "pad": "` + strings.Repeat("x", service.MaxStudyBodyBytes) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/studies", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: HTTP %d, want 413", resp.StatusCode)
+	}
+	if got := man.Metrics().JobsAccepted.Load(); got != 0 {
+		t.Fatalf("oversized submit was admitted (%d jobs)", got)
+	}
+}
+
+// TestServiceReadyzLifecycle: readyz is 503 until Start (journal replay
+// happens before Start, so "started" is the replay-complete signal) and
+// 200 after; healthz is 200 throughout.
+func TestServiceReadyzLifecycle(t *testing.T) {
+	man := service.NewManager(service.Config{Workers: 1, QueueCap: 4})
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before Start: HTTP %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Start: HTTP %d, want 503", code)
+	}
+	man.Start()
+	defer man.Drain(time.Second)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after Start: HTTP %d, want 200", code)
+	}
+}
+
+// TestServiceStatusOwnerAndStudyKey: JobStatus carries the admitting
+// node's id and the synthesis content address (for plain studies, equal
+// to the job key) so cross-node debugging can correlate.
+func TestServiceStatusOwnerAndStudyKey(t *testing.T) {
+	man := service.NewManager(service.Config{
+		Workers: 2, QueueCap: 4, NodeID: "http://node-a:8080",
+	})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	_, sub := postStudy(t, ts, tinyStudy(10))
+	st := waitState(t, ts, sub.ID, service.StateDone)
+	if st.Owner != "http://node-a:8080" {
+		t.Fatalf("owner %q, want the node id", st.Owner)
+	}
+	if st.StudyKey == "" {
+		t.Fatal("status missing studyKey")
+	}
+	if st.StudyKey != sub.Key {
+		t.Fatalf("plain study: studyKey %q should equal job key %q", st.StudyKey, sub.Key)
+	}
+
+	// A yield study's job key extends the study key; they must differ.
+	yreq := tinyStudy(10)
+	yreq.Mode = "yield"
+	yreq.Draws = 8
+	_, ysub := postStudy(t, ts, yreq)
+	yst := waitState(t, ts, ysub.ID, service.StateDone)
+	if yst.StudyKey == "" || yst.StudyKey == ysub.Key {
+		t.Fatalf("yield study: studyKey %q vs job key %q, want distinct", yst.StudyKey, ysub.Key)
+	}
+}

@@ -50,6 +50,12 @@ type journalRecord struct {
 	State   State         `json:"state,omitempty"`
 	Error   string        `json:"error,omitempty"`
 	Result  *StudyJSON    `json:"result,omitempty"`
+	// Cluster mode: the node that admitted the job and the wall-clock
+	// deadline by which it must renew its claim. A ring successor that
+	// holds a replica of this record re-enqueues the job under the same
+	// ID once the lease expires and the owner stops heartbeating.
+	Owner string     `json:"owner,omitempty"`
+	Lease *time.Time `json:"lease,omitempty"`
 }
 
 // JournalStats is the point-in-time shape of the WAL for /metrics.

@@ -49,8 +49,15 @@ type Event struct {
 // Job is one submitted study. All mutable fields are guarded by mu; the
 // exported accessors snapshot them.
 type Job struct {
-	ID      string
-	Key     string // core.StudyKey content address — the single-flight identity
+	ID  string
+	Key string // job content address (JobKey) — the single-flight identity
+	// StudyKey is the synthesis content address (core.StudyKey). It
+	// equals Key for plain studies; yield jobs extend it with the
+	// canonical spec, so both are reported for cross-node debugging.
+	StudyKey string
+	// Owner is the cluster node that admitted (or took over) the job;
+	// empty outside cluster mode.
+	Owner   string
 	Req     StudyRequest
 	Created time.Time
 
@@ -68,10 +75,15 @@ type Job struct {
 	done     chan struct{}      // closed on terminal transition
 }
 
-// JobStatus is the wire form of a job's current state.
+// JobStatus is the wire form of a job's current state. Owner and
+// StudyKey make cross-node job lookup debuggable: a cluster operator can
+// see which node ran the job and which synthesis content address it
+// resolves to, whatever entry node answered the GET.
 type JobStatus struct {
 	ID       string       `json:"id"`
 	Key      string       `json:"key"`
+	StudyKey string       `json:"studyKey,omitempty"`
+	Owner    string       `json:"owner,omitempty"`
 	State    State        `json:"state"`
 	Request  StudyRequest `json:"request"`
 	Created  time.Time    `json:"created"`
@@ -87,7 +99,8 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID: j.ID, Key: j.Key, State: j.state, Request: j.Req,
+		ID: j.ID, Key: j.Key, StudyKey: j.StudyKey, Owner: j.Owner,
+		State: j.state, Request: j.Req,
 		Created: j.Created, Evals: j.evals, Result: j.result,
 	}
 	if !j.started.IsZero() {
@@ -219,6 +232,15 @@ type Config struct {
 	// RetainAge additionally evicts terminal jobs older than this
 	// (0 = no age bound).
 	RetainAge time.Duration
+	// NodeID is this node's cluster identity (its advertised base URL).
+	// Empty outside cluster mode. Stamped on every job as its owner and
+	// journaled with submit/start records.
+	NodeID string
+	// Lease is the cluster job-lease duration: submit/start journal
+	// records carry a deadline of now+Lease, and the cluster layer
+	// renews replicas on the same cadence. Zero means no lease
+	// bookkeeping (single-node mode).
+	Lease time.Duration
 }
 
 // Manager owns the job table, the bounded admission queue, and the
@@ -237,6 +259,7 @@ type Manager struct {
 	avgJobNS  float64         // EWMA of completed-job wall time (drives Retry-After)
 	nextID    int
 	draining  bool
+	started   bool // set by Start; readiness = started && !draining
 
 	loopCtx  context.Context
 	stopLoop context.CancelFunc
@@ -273,8 +296,13 @@ func NewManager(cfg Config) *Manager {
 // Metrics returns the registry the manager reports into.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
-// Start launches the executor goroutines.
+// Start launches the executor goroutines and marks the manager ready:
+// callers that journal must Recover first, so Ready implies the journal
+// has been replayed.
 func (m *Manager) Start() {
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
 	for i := 0; i < m.cfg.Executors; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -391,11 +419,21 @@ func (m *Manager) Recover() (RecoveryStats, error) {
 		if f.submit.Req != nil {
 			req = *f.submit.Req
 		}
+		owner := f.submit.Owner
+		if owner == "" {
+			owner = m.cfg.NodeID
+		}
 		job := &Job{
-			ID: id, Key: f.submit.Key, Req: req, Created: f.submit.Created,
+			ID: id, Key: f.submit.Key, Owner: owner,
+			Req: req, Created: f.submit.Created,
 			state: StateQueued,
 			subs:  make(map[int]chan Event),
 			done:  make(chan struct{}),
+		}
+		if f.submit.Req != nil {
+			if opts, err := req.Options(); err == nil {
+				job.StudyKey = core.StudyKey(opts)
+			}
 		}
 
 		if f.state.Terminal() {
@@ -523,13 +561,15 @@ func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
 	}
 	m.nextID++
 	job = &Job{
-		ID:      fmt.Sprintf("s%06d-%s", m.nextID, key[:8]),
-		Key:     key,
-		Req:     req,
-		Created: time.Now(),
-		state:   StateQueued,
-		subs:    make(map[int]chan Event),
-		done:    make(chan struct{}),
+		ID:       fmt.Sprintf("s%06d-%s", m.nextID, key[:8]),
+		Key:      key,
+		StudyKey: core.StudyKey(opts),
+		Owner:    m.cfg.NodeID,
+		Req:      req,
+		Created:  time.Now(),
+		state:    StateQueued,
+		subs:     make(map[int]chan Event),
+		done:     make(chan struct{}),
 	}
 	select {
 	case m.queue <- job:
@@ -546,12 +586,81 @@ func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
 	// submission path, which is rare next to the work it admits.
 	if m.cfg.Journal != nil {
 		req := job.Req
+		now := time.Now()
 		m.cfg.Journal.append(journalRecord{
-			Op: "submit", ID: job.ID, Time: time.Now(),
+			Op: "submit", ID: job.ID, Time: now,
 			Key: key, Req: &req, Created: job.Created,
+			Owner: m.cfg.NodeID, Lease: m.leaseDeadline(now),
 		})
 	}
 	return job, false, nil
+}
+
+// Resubmit re-enqueues a job under a caller-chosen ID — the cluster
+// lease-handoff path: a ring successor whose dead peer's lease expired
+// re-admits the job under the SAME id, so the client's handle keeps
+// working across the takeover. Semantics mirror journal recovery: the
+// job opens its event stream with "recovered" and counts toward the
+// recovered metric. When the id is already known here, or another
+// in-flight job holds the same content address, that job is returned
+// with accepted=false — the takeover became a no-op or a dedup.
+func (m *Manager) Resubmit(id string, req StudyRequest) (job *Job, accepted bool, err error) {
+	opts, err := req.Options()
+	if err != nil {
+		return nil, false, err
+	}
+	key := req.JobKey(opts)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if j, ok := m.jobs[id]; ok {
+		return j, false, nil
+	}
+	if inflight, ok := m.byKey[key]; ok {
+		m.metrics.JobsDeduped.Add(1)
+		return inflight, false, nil
+	}
+	job = &Job{
+		ID:       id,
+		Key:      key,
+		StudyKey: core.StudyKey(opts),
+		Owner:    m.cfg.NodeID,
+		Req:      req,
+		Created:  time.Now(),
+		state:    StateQueued,
+		subs:     make(map[int]chan Event),
+		done:     make(chan struct{}),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.metrics.JobsRejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	// Keep locally minted IDs monotonic past the adopted one so a later
+	// Submit can never collide with it.
+	var n int
+	if _, serr := fmt.Sscanf(id, "s%d-", &n); serr == nil && n > m.nextID {
+		m.nextID = n
+	}
+	m.jobs[id] = job
+	m.byKey[key] = job
+	m.metrics.JobsAccepted.Add(1)
+	m.metrics.JobsRecovered.Add(1)
+	job.appendEvent("recovered", nil)
+	if m.cfg.Journal != nil {
+		reqCopy := req
+		now := time.Now()
+		m.cfg.Journal.append(journalRecord{
+			Op: "submit", ID: id, Time: now,
+			Key: key, Req: &reqCopy, Created: job.Created,
+			Owner: m.cfg.NodeID, Lease: m.leaseDeadline(now),
+		})
+	}
+	return job, true, nil
 }
 
 // Get looks a job up by ID.
@@ -661,6 +770,29 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
+// Ready reports whether the manager can accept work: Start has run
+// (journal replay, if configured, happens before Start) and no drain is
+// in progress. /readyz serves this.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started && !m.draining
+}
+
+// NodeID returns the configured cluster identity ("" outside cluster
+// mode).
+func (m *Manager) NodeID() string { return m.cfg.NodeID }
+
+// leaseDeadline computes the journal/replica lease for a record stamped
+// now; nil when lease bookkeeping is off.
+func (m *Manager) leaseDeadline(now time.Time) *time.Time {
+	if m.cfg.Lease <= 0 {
+		return nil
+	}
+	t := now.Add(m.cfg.Lease)
+	return &t
+}
+
 // runJob executes one study on an executor goroutine.
 func (m *Manager) runJob(job *Job) {
 	ctx, cancel := context.WithCancel(m.loopCtx)
@@ -675,7 +807,11 @@ func (m *Manager) runJob(job *Job) {
 	if m.cfg.Journal != nil {
 		// Losing this record to a crash is harmless: a job journaled as
 		// queued is re-enqueued by replay exactly like a running one.
-		m.cfg.Journal.append(journalRecord{Op: "start", ID: job.ID, Time: time.Now()})
+		now := time.Now()
+		m.cfg.Journal.append(journalRecord{
+			Op: "start", ID: job.ID, Time: now,
+			Owner: m.cfg.NodeID, Lease: m.leaseDeadline(now),
+		})
 	}
 
 	opts, err := job.Req.Options()
@@ -870,6 +1006,7 @@ func (m *Manager) compactJournal() {
 		recs = append(recs, journalRecord{
 			Op: "submit", ID: j.ID, Time: j.Created,
 			Key: j.Key, Req: &req, Created: j.Created,
+			Owner: j.Owner,
 		})
 		if j.state.Terminal() {
 			rec := journalRecord{Op: "final", ID: j.ID, Time: j.finished, State: j.state, Result: j.result}

@@ -4,23 +4,31 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Server is the daemon's HTTP surface over a Manager:
 //
 //	POST   /v1/studies            submit a study (202; 200 when deduped;
+//	                              413 over MaxStudyBodyBytes; 415 on a
+//	                              non-JSON Content-Type;
 //	                              429 + Retry-After when the queue is full;
 //	                              503 while draining)
+//	POST   /v1/jobs               alias of the submit above
 //	GET    /v1/studies            list jobs, newest first; ?state= filters
 //	GET    /v1/jobs               alias of the listing above
 //	GET    /v1/studies/{id}       job status (+ result when done)
 //	GET    /v1/studies/{id}/events per-stage progress as NDJSON, streamed
 //	                              until the job is terminal
 //	DELETE /v1/studies/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}[/events] aliases of the job routes above
 //	GET    /metrics               Prometheus text exposition
-//	GET    /healthz               200 ok / 503 draining
+//	GET    /healthz               liveness: 200 while the process serves
+//	GET    /readyz                readiness: 200 once Start has run (journal
+//	                              replayed) and no drain is in progress
 type Server struct {
 	man *Manager
 	mux *http.ServeMux
@@ -30,17 +38,25 @@ type Server struct {
 func NewServer(man *Manager) *Server {
 	s := &Server{man: man, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/studies", s.submit)
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/studies", s.list)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
-	s.mux.HandleFunc("GET /v1/studies/{id}", s.status)
-	s.mux.HandleFunc("GET /v1/studies/{id}/events", s.events)
-	s.mux.HandleFunc("DELETE /v1/studies/{id}", s.cancel)
+	for _, base := range []string{"/v1/studies", "/v1/jobs"} {
+		s.mux.HandleFunc("GET "+base+"/{id}", s.status)
+		s.mux.HandleFunc("GET "+base+"/{id}/events", s.events)
+		s.mux.HandleFunc("DELETE "+base+"/{id}", s.cancel)
+	}
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Manager exposes the job manager the server fronts (the cluster router
+// shares it).
+func (s *Server) Manager() *Manager { return s.man }
 
 // SubmitResponse is the POST /v1/studies reply.
 type SubmitResponse struct {
@@ -53,12 +69,53 @@ type SubmitResponse struct {
 	Events string `json:"events"`
 }
 
-func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
-	var req StudyRequest
+// MaxStudyBodyBytes bounds a study submission body. A valid request is a
+// couple hundred bytes of knobs; a megabyte is already three orders of
+// magnitude of slack, and the limit is what keeps one malicious or
+// buggy client (or a proxying peer) from ballooning the daemon's memory.
+const MaxStudyBodyBytes = 1 << 20
+
+// DecodeStudyRequest enforces the submission guards — JSON Content-Type
+// (415 otherwise) and the MaxStudyBodyBytes body cap (413) — then
+// decodes the request. On failure the response has been written and ok
+// is false. The cluster routing layer shares these guards, so a body is
+// validated once at the entry node before it travels peer-to-peer.
+func DecodeStudyRequest(w http.ResponseWriter, r *http.Request) (req StudyRequest, ok bool) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+			httpError(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("content type %q: want application/json", ct))
+			return req, false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxStudyBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", MaxStudyBodyBytes))
+			return req, false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	req, ok := DecodeStudyRequest(w, r)
+	if !ok {
 		return
 	}
+	s.WriteSubmit(w, req)
+}
+
+// WriteSubmit admits the (already decoded) request and writes the
+// submit response — the shared tail of the local submit handler and the
+// cluster router's local-execution path. It returns the admitted job
+// and whether it is fresh (false on dedup or error).
+func (s *Server) WriteSubmit(w http.ResponseWriter, req StudyRequest) (*Job, bool) {
 	job, deduped, err := s.man.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -67,13 +124,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		// from the observed completion rate (clamped to [1, 60] s).
 		w.Header().Set("Retry-After", strconv.Itoa(s.man.RetryAfter()))
 		httpError(w, http.StatusTooManyRequests, err)
-		return
+		return nil, false
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err)
-		return
+		return nil, false
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, false
 	}
 	code := http.StatusAccepted
 	if deduped {
@@ -85,6 +142,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		ID: job.ID, Key: job.Key, State: job.State(), Deduped: deduped,
 		Status: loc, Events: loc + "/events",
 	})
+	return job, !deduped
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
@@ -174,9 +232,19 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.man.Metrics().WriteTo(w, s.man.Snapshot())
 }
 
+// healthz is liveness: the process is up and serving HTTP. It stays 200
+// through a drain — a draining daemon is alive, just not ready — so
+// orchestrators keep it running while in-flight jobs finish.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	if s.man.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "ok")
+}
+
+// readyz is readiness: Start has run (with a journal, replay precedes
+// Start) and no drain is in progress. Load balancers and cluster
+// heartbeats route on this.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.man.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ok")

@@ -459,13 +459,22 @@ func TestServiceDrainLeakFree(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit: HTTP %d, want 503", resp.StatusCode)
 	}
+	// Liveness stays green through a drain; readiness goes red.
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: HTTP %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: HTTP %d, want 200 (liveness)", hresp.StatusCode)
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: HTTP %d, want 503", rresp.StatusCode)
 	}
 	ts.Close() // before the leak check: the httptest listener has its own goroutines
 }

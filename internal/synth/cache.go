@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -92,16 +93,18 @@ func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 
 // CacheStats counts cache traffic since construction.
 type CacheStats struct {
-	Hits     int64 // Get calls answered (memory or disk)
+	Hits     int64 // Get calls answered (memory, disk, or peer fill)
 	DiskHits int64 // subset of Hits served from the on-disk store
+	PeerHits int64 // subset of Hits served by the fill hook (peer cache tier)
 	Misses   int64 // Get calls that found nothing
 	Puts     int64
 	Evicted  int64 // LRU evictions from the in-memory tier
 }
 
 // Cache is a content-addressed synthesis result store: an in-memory LRU
-// in front of an optional on-disk gob store. Safe for concurrent use by
-// the parallel scheduler.
+// in front of an optional on-disk gob store, with optional fill/push
+// hooks that extend it into a shared cluster tier. Safe for concurrent
+// use by the parallel scheduler.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -109,6 +112,8 @@ type Cache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	stats   CacheStats
+	fill    func(key string) (*Result, bool)
+	push    func(key string, res *Result)
 }
 
 type cacheEntry struct {
@@ -141,9 +146,60 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 	}, nil
 }
 
+// SetFill installs the miss-path fallback consulted after memory and
+// disk — the peer cache tier: the cluster layer points it at the ring
+// owner's /v1/cache/{key}. A fill hit is inserted into the local tiers
+// (memory, and disk when configured), so repeated asks stay local. The
+// hook runs outside the cache lock and must be safe for concurrent use.
+func (c *Cache) SetFill(fill func(key string) (*Result, bool)) {
+	c.mu.Lock()
+	c.fill = fill
+	c.mu.Unlock()
+}
+
+// SetPush installs the write-through hook invoked (outside the lock) on
+// every Put: the cluster layer uses it to replicate fresh entries to the
+// key's ring owner, so any peer's later fill finds them there. The hook
+// must be safe for concurrent use and should not block the caller.
+func (c *Cache) SetPush(push func(key string, res *Result)) {
+	c.mu.Lock()
+	c.push = push
+	c.mu.Unlock()
+}
+
 // Get returns a copy of the cached result for key, consulting memory
-// first and then the disk store.
+// first, then the disk store, then the fill hook (peer tier).
 func (c *Cache) Get(key string) (*Result, bool) {
+	if res, ok := c.GetLocal(key); ok {
+		return res, ok
+	}
+	c.mu.Lock()
+	fill := c.fill
+	c.mu.Unlock()
+	if fill != nil {
+		if res, ok := fill(key); ok && res != nil {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.stats.PeerHits++
+			c.insertLocked(key, *res)
+			c.mu.Unlock()
+			if c.dir != "" {
+				_ = c.storeDisk(key, res)
+			}
+			return res, true
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// GetLocal is Get restricted to the local tiers (memory and disk): the
+// handler serving /v1/cache/{key} to peers uses it, so one node's probe
+// can never recurse into another fill. A local miss is not counted —
+// the caller decides whether it falls through to the peer tier.
+func (c *Cache) GetLocal(key string) (*Result, bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
@@ -163,26 +219,58 @@ func (c *Cache) Get(key string) (*Result, bool) {
 			return res, true
 		}
 	}
-	c.mu.Lock()
-	c.stats.Misses++
-	c.mu.Unlock()
 	return nil, false
 }
 
 // Put stores a copy of res under key, writing through to the disk store
-// when one is configured. Disk failures are non-fatal: the cache is an
-// accelerator, not a source of truth.
+// when one is configured and to the push hook when one is installed.
+// Disk failures are non-fatal: the cache is an accelerator, not a
+// source of truth.
 func (c *Cache) Put(key string, res *Result) {
 	if res == nil {
 		return
 	}
+	push := c.putLocal(key, res)
+	if push != nil {
+		push(key, res)
+	}
+}
+
+// PutLocal is Put without the push hook: the handler ingesting a peer's
+// pushed entry uses it, so replication terminates at the receiving node
+// instead of hopping onward under a disagreeing ring view.
+func (c *Cache) PutLocal(key string, res *Result) {
+	if res == nil {
+		return
+	}
+	c.putLocal(key, res)
+}
+
+func (c *Cache) putLocal(key string, res *Result) func(string, *Result) {
 	c.mu.Lock()
 	c.stats.Puts++
 	c.insertLocked(key, *res)
+	push := c.push
 	c.mu.Unlock()
 	if c.dir != "" {
 		_ = c.storeDisk(key, res)
 	}
+	return push
+}
+
+// EncodeResult writes res in the cache's wire/disk format (gob). The
+// /v1/cache/{key} peer-fill endpoint serves exactly these bytes.
+func EncodeResult(w io.Writer, res *Result) error {
+	return gob.NewEncoder(w).Encode(res)
+}
+
+// DecodeResult reads a result in the cache's wire/disk format (gob).
+func DecodeResult(r io.Reader) (*Result, error) {
+	var res Result
+	if err := gob.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // Stats snapshots the traffic counters.

@@ -1,0 +1,196 @@
+#!/bin/sh
+# Three-node adcsynd cluster smoke on loopback. Asserts the sharded
+# daemon's whole contract end to end:
+#
+#   dedupe    the same study submitted to two different nodes routes to
+#             one ring owner and executes ONCE (eval accounting: exactly
+#             one node spends evaluations; the twin submit answers 200
+#             with deduped=true and the same job id).
+#   fill      after the owner computes, a forced-local re-run on a cold
+#             node (X-Adcsyn-Forwarded pins execution) is served
+#             entirely by the peer cache tier: totalEvals == 0.
+#   takeover  kill -9 the node that owns a running study; its lease
+#             expires, a ring successor re-enqueues the SAME job id via
+#             the recovery path (stream opens with a recovered event),
+#             and the job completes on a survivor.
+#   identical the cluster's result matches a plain single-node daemon's
+#             result for the same study, bit for bit (design content).
+set -eu
+
+P1="${ADCSYND_CLUSTER_PORT:-18670}"
+P2=$((P1 + 1))
+P3=$((P1 + 2))
+PSOLO=$((P1 + 3))
+U1="http://127.0.0.1:$P1"
+U2="http://127.0.0.1:$P2"
+U3="http://127.0.0.1:$P3"
+PEERS="$U1,$U2,$U3"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/adcsynd" ./cmd/adcsynd
+
+start_node() { # port log
+  "$TMP/adcsynd" -addr "127.0.0.1:$1" -node "http://127.0.0.1:$1" -peers "$PEERS" \
+    -vnodes 16 -lease 2s -heartbeat 200ms -queue 8 -workers 2 \
+    -cache-dir "$TMP/cache-$1" -state-dir "$TMP/state-$1" \
+    -drain-timeout 10s >"$2" 2>&1 &
+  LAST_PID=$!
+  PIDS="$PIDS $LAST_PID"
+}
+
+wait_ready() { # base log
+  i=0
+  until curl -sf "$1/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "cluster-smoke: $1 never became ready" >&2; cat "$2" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+submit() { # base body [extra curl args...]
+  base=$1; body=$2; shift 2
+  curl -sf -X POST "$base/v1/jobs" -H 'Content-Type: application/json' "$@" -d "$body"
+}
+
+wait_done() { # base id max_iterations
+  i=0
+  until curl -s "$1/v1/jobs/$2" | jq -e '.state == "done"' >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le "$3" ] || { echo "cluster-smoke: job $2 never finished via $1" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+start_node "$P1" "$TMP/n1.log"; PID1=$LAST_PID
+start_node "$P2" "$TMP/n2.log"; PID2=$LAST_PID
+start_node "$P3" "$TMP/n3.log"; PID3=$LAST_PID
+wait_ready "$U1" "$TMP/n1.log"
+wait_ready "$U2" "$TMP/n2.log"
+wait_ready "$U3" "$TMP/n3.log"
+
+# Membership converges: every peer up from node 1's point of view.
+i=0
+until curl -sf "$U1/v1/cluster/status" | jq -e '[.peers[] | select(.alive)] | length == 3' >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { echo "cluster-smoke: membership never converged" >&2; curl -s "$U1/v1/cluster/status" >&2; exit 1; }
+  sleep 0.1
+done
+
+# ---- dedupe: one execution for twin submits to different nodes -------
+STUDY='{"bits":10,"mode":"hybrid","evals":40,"pattern":20,"seed":5}'
+SUB1=$(submit "$U1" "$STUDY")
+ID=$(echo "$SUB1" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || { echo "cluster-smoke: bad submit: $SUB1" >&2; exit 1; }
+SUB2=$(submit "$U2" "$STUDY")
+echo "$SUB2" | jq -e --arg id "$ID" '.deduped == true and .id == $id' >/dev/null \
+  || { echo "cluster-smoke: twin submit did not dedupe: $SUB2" >&2; exit 1; }
+wait_done "$U3" "$ID" 600
+
+OWNER=$(curl -sf "$U3/v1/jobs/$ID" | jq -r .owner)
+BUSY=0
+for u in "$U1" "$U2" "$U3"; do
+  COUNT=$(curl -sf "$u/metrics" | sed -n 's/^adcsynd_eval_duration_seconds_count //p')
+  if [ "${COUNT:-0}" -gt 0 ]; then
+    BUSY=$((BUSY + 1))
+    [ "$u" = "$OWNER" ] || { echo "cluster-smoke: $u spent evaluations but $OWNER owns the job" >&2; exit 1; }
+  fi
+done
+[ "$BUSY" -eq 1 ] || { echo "cluster-smoke: $BUSY nodes executed the study, want exactly 1" >&2; exit 1; }
+curl -sf "$U3/v1/jobs/$ID" | jq -S '.result | {best, candidates}' >"$TMP/cluster-result.json"
+echo "cluster-smoke: dedupe ok (job $ID executed once, on $OWNER)"
+
+# ---- fill: forced-local on a cold node runs with zero evaluations ----
+COLD=""
+for u in "$U1" "$U2" "$U3"; do
+  [ "$u" = "$OWNER" ] && continue
+  COLD=$u
+done
+# Wait for the asynchronous cache-push replication to quiesce: two
+# consecutive scrapes of the cluster-wide sent counter must agree.
+PREV=-1
+i=0
+while :; do
+  SENT=0
+  for u in "$U1" "$U2" "$U3"; do
+    S=$(curl -sf "$u/metrics" | sed -n 's/^adcsynd_cluster_cache_push_total{result="sent"} //p')
+    SENT=$((SENT + ${S:-0}))
+  done
+  [ "$SENT" -gt 0 ] && [ "$SENT" -eq "$PREV" ] && break
+  PREV=$SENT
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "cluster-smoke: cache pushes never quiesced (sent=$SENT)" >&2; exit 1; }
+  sleep 0.2
+done
+
+SUB3=$(submit "$COLD" "$STUDY" -H 'X-Adcsyn-Forwarded: smoke')
+ID3=$(echo "$SUB3" | jq -r .id)
+wait_done "$COLD" "$ID3" 600
+curl -sf "$COLD/v1/jobs/$ID3" \
+  | jq -e '.result.totalEvals == 0 and .result.cacheHits > 0' >/dev/null \
+  || { echo "cluster-smoke: cold node was not served by the peer cache:" >&2; \
+       curl -s "$COLD/v1/jobs/$ID3" | jq .result >&2; exit 1; }
+curl -sf "$COLD/metrics" | grep -q '^adcsynd_cluster_cache_fill_hits_total [1-9]' \
+  || { echo "cluster-smoke: no peer fill hits recorded on $COLD" >&2; exit 1; }
+echo "cluster-smoke: peer-cache fill ok (cold node $COLD: zero evaluations)"
+
+# ---- identical: the cluster's answer matches a single-node daemon ----
+"$TMP/adcsynd" -addr "127.0.0.1:$PSOLO" -queue 8 -workers 2 \
+  -cache-dir "$TMP/cache-solo" -drain-timeout 10s >"$TMP/solo.log" 2>&1 &
+SOLO_PID=$!
+PIDS="$PIDS $SOLO_PID"
+USOLO="http://127.0.0.1:$PSOLO"
+wait_ready "$USOLO" "$TMP/solo.log"
+SID=$(submit "$USOLO" "$STUDY" | jq -r .id)
+wait_done "$USOLO" "$SID" 600
+curl -sf "$USOLO/v1/jobs/$SID" | jq -S '.result | {best, candidates}' >"$TMP/solo-result.json"
+cmp -s "$TMP/cluster-result.json" "$TMP/solo-result.json" \
+  || { echo "cluster-smoke: cluster result differs from single-node" >&2; \
+       diff "$TMP/cluster-result.json" "$TMP/solo-result.json" >&2 || true; exit 1; }
+kill -TERM "$SOLO_PID" 2>/dev/null || true
+echo "cluster-smoke: results bit-identical to single-node"
+
+# ---- takeover: kill -9 the owner mid-study, a successor finishes -----
+STUDY2='{"bits":10,"mode":"hybrid","evals":60,"pattern":30,"seed":7}'
+TID=$(submit "$U1" "$STUDY2" | jq -r .id)
+i=0
+until curl -s "$U1/v1/jobs/$TID" | jq -e '.state == "running"' >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "cluster-smoke: takeover study never started" >&2; exit 1; }
+  sleep 0.1
+done
+TOWNER=$(curl -sf "$U1/v1/jobs/$TID" | jq -r .owner)
+case "$TOWNER" in
+"$U1") VICTIM=$PID1 ;;
+"$U2") VICTIM=$PID2 ;;
+"$U3") VICTIM=$PID3 ;;
+*) echo "cluster-smoke: unknown owner $TOWNER" >&2; exit 1 ;;
+esac
+SURVIVOR=""
+for u in "$U1" "$U2" "$U3"; do
+  [ "$u" = "$TOWNER" ] && continue
+  SURVIVOR=$u
+done
+kill -9 "$VICTIM"
+wait "$VICTIM" 2>/dev/null || true
+echo "cluster-smoke: killed owner $TOWNER mid-study ($TID)"
+
+# The lease (2s) expires, a survivor re-enqueues the SAME id, finishes.
+wait_done "$SURVIVOR" "$TID" 900
+NEWOWNER=$(curl -sf "$SURVIVOR/v1/jobs/$TID" | jq -r .owner)
+[ "$NEWOWNER" != "$TOWNER" ] && [ -n "$NEWOWNER" ] \
+  || { echo "cluster-smoke: finished job still owned by the dead node" >&2; exit 1; }
+curl -sf --max-time 30 "$SURVIVOR/v1/jobs/$TID/events" | head -n 1 \
+  | jq -e '.kind == "recovered"' >/dev/null \
+  || { echo "cluster-smoke: takeover stream does not open with a recovered event" >&2; exit 1; }
+TAKEOVERS=0
+for u in "$U1" "$U2" "$U3"; do
+  [ "$u" = "$TOWNER" ] && continue
+  TK=$(curl -sf "$u/metrics" | sed -n 's/^adcsynd_cluster_takeovers_total //p')
+  TAKEOVERS=$((TAKEOVERS + ${TK:-0}))
+done
+[ "$TAKEOVERS" -eq 1 ] || { echo "cluster-smoke: $TAKEOVERS takeovers recorded, want 1" >&2; exit 1; }
+echo "cluster-smoke: takeover ok (job $TID completed on $NEWOWNER, same id, recovered event)"
+
+echo "cluster-smoke: ok"

@@ -70,7 +70,7 @@ main_leg() {
   wait_healthy "$LOG"
 
   # Submit a tiny 10-bit equation-mode study.
-  SUBMIT=$(curl -sf -X POST "$BASE/v1/studies" \
+  SUBMIT=$(curl -sf -X POST "$BASE/v1/studies" -H 'Content-Type: application/json' \
     -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}')
   ID=$(echo "$SUBMIT" | jq -r .id)
   [ -n "$ID" ] && [ "$ID" != null ] || { echo "serve-smoke: bad submit: $SUBMIT" >&2; exit 1; }
@@ -87,7 +87,7 @@ main_leg() {
     || { echo "serve-smoke: bad status: $STATUS" >&2; exit 1; }
 
   # An identical re-submission replays from the synthesis cache.
-  ID2=$(curl -sf -X POST "$BASE/v1/studies" \
+  ID2=$(curl -sf -X POST "$BASE/v1/studies" -H 'Content-Type: application/json' \
     -d '{"bits":10,"mode":"equation","evals":10,"pattern":8,"seed":5}' | jq -r .id)
   wait_state "$ID2" done 100 "$LOG"
   curl -sf "$BASE/v1/studies/$ID2" | jq -e '.result.cacheHits > 0 and .result.cacheMisses == 0' >/dev/null \
@@ -126,7 +126,7 @@ recover_leg() {
 
   # A hybrid study big enough to still be mid-flight when the SIGKILL
   # lands (several seconds of simulation-backed evaluations).
-  RID=$(curl -sf -X POST "$BASE/v1/studies" \
+  RID=$(curl -sf -X POST "$BASE/v1/studies" -H 'Content-Type: application/json' \
     -d '{"bits":10,"mode":"hybrid","evals":60,"pattern":30,"seed":7}' | jq -r .id)
   [ -n "$RID" ] && [ "$RID" != null ] || { echo "serve-smoke: bad recovery submit" >&2; exit 1; }
   wait_state "$RID" running 100 "$RLOG"
@@ -172,7 +172,7 @@ yield_leg() {
     PID=$!
     wait_healthy "$3"
     T0=$(date +%s)
-    YID=$(curl -sf -X POST "$BASE/v1/studies" -d "$YREQ" | jq -r .id)
+    YID=$(curl -sf -X POST "$BASE/v1/studies" -H 'Content-Type: application/json' -d "$YREQ" | jq -r .id)
     [ -n "$YID" ] && [ "$YID" != null ] || { echo "serve-smoke: bad yield submit" >&2; exit 1; }
     wait_state "$YID" done 600 "$3"
     T1=$(date +%s)
