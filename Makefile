@@ -22,6 +22,8 @@ race:
 	$(GO) test -race -run 'Cancel|Fault|Leak' ./...
 	$(GO) test -race ./internal/service
 	$(GO) test -race ./internal/yield ./internal/adcsim ./internal/dsp
+	$(GO) test -race ./internal/race
+	$(GO) test -race -run 'Race|Surrogate' ./internal/synth ./internal/core ./internal/service
 
 # Service integration smoke: boot adcsynd, run a study over HTTP with a
 # cached rerun and a /metrics scrape, SIGTERM, assert clean drain — then
@@ -62,7 +64,7 @@ bench:
 	$(GO) test -json -bench=. -benchmem -run='^$$' \
 		./internal/la ./internal/expr ./internal/sim ./internal/hybrid \
 		| ./scripts/benchfilter.sh > BENCH_kernels.json
-	$(GO) test -json -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b)$$' -benchmem -run='^$$' . \
+	$(GO) test -json -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b|Study13bRacing)$$' -benchmem -run='^$$' . \
 		| ./scripts/benchfilter.sh >> BENCH_kernels.json
 	@grep -F 'ns/op' BENCH_kernels.json \
 		| sed -E 's/.*"Test":"([^"]*)".*"Output":"(\1)? *([^"]*)\\n"\}/\1\t\3/; s/\\t/   /g'

@@ -40,6 +40,13 @@ go test -race ./internal/cluster
 # bit-identical results vs a single-node daemon, and a kill -9 lease
 # takeover completing the same job id on a survivor.
 ./scripts/cluster_smoke.sh
+# Racing lane: the successive-halving scheduler (plan/promotion ranking),
+# the quadratic-surrogate proposal loop, and the worker-count
+# bit-identity tests at the synthesis, study, and service levels under
+# the race detector — rung promotion is a cross-worker reduction, so the
+# determinism contract and the data-race check are the same test.
+go test -race ./internal/race
+go test -race -run 'Race|Surrogate' ./internal/synth ./internal/core ./internal/service
 # Sparse-solver lane: the sparse/dense bit-exactness, symbolic-coverage,
 # modified-Newton determinism, ordered-pivot equivalence, and
 # batched-evaluation equivalence tests under the race detector — the
@@ -51,7 +58,7 @@ go test -race -run 'MatchesDense|SymbolicCovers|NewtonReuse|BitIdentical|Batch|O
 # regressions (panics, singular matrices) surface in CI without paying
 # for a full measurement run.
 go test -bench=. -benchtime=1x -run='^$' ./internal/la ./internal/expr ./internal/sim ./internal/hybrid
-go test -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b)$' -benchtime=1x -run='^$' .
+go test -bench='^Benchmark(OP|TranSettle|TranSettleFullNewton|ACSweep|Study13b|Study13bRacing)$' -benchtime=1x -run='^$' .
 # Advisory perf diff against the committed BENCH_kernels.json snapshot:
 # prints >10% ns/op regressions but never fails the gate (shared CI
 # boxes are noisy; BENCHDIFF_STRICT=1 makes it fatal locally).

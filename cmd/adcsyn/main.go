@@ -7,9 +7,19 @@
 //
 //	adcsyn -bits 13 -fs 40e6 [-mode hybrid|equation|simulation|yield]
 //	       [-evals 180] [-restarts 1] [-retarget] [-seed 7] [-verify]
+//	       [-race] [-race-rungs 2] [-race-eta 3] [-surrogate]
 //	       [-draws 1000] [-min-enob 0]
 //	       [-workers 0] [-cache-dir DIR] [-timeout DURATION] [-json]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// -race turns on the successive-halving racing scheduler: every
+// enumerated candidate is synthesized at a cheap low-fidelity rung, the
+// top half (by feasibility, then cost) is promoted, and only the
+// survivors get the full budget, warm-started from their own
+// low-fidelity best sizing. -race-rungs and -race-eta shape the
+// schedule. -surrogate interleaves deterministic quadratic-model sizing
+// proposals with the annealer's random moves. Both knobs keep the
+// bit-identical-for-any--workers contract.
 //
 // -mode yield is the Monte-Carlo sign-off lane: synthesize with the full
 // hybrid evaluator, map the best design onto its process-variation error
@@ -68,6 +78,10 @@ func main() {
 	pattern := flag.Int("pattern", 90, "pattern-search evaluations per MDAC")
 	restarts := flag.Int("restarts", 1, "synthesis restarts per MDAC")
 	retarget := flag.Bool("retarget", false, "chain warm starts across MDACs (faster, slightly suboptimal)")
+	raceOn := flag.Bool("race", false, "successive-halving racing over the candidate portfolio")
+	raceRungs := flag.Int("race-rungs", 0, "racing rungs (0 = default 2)")
+	raceEta := flag.Int("race-eta", 0, "racing budget-reduction factor between rungs (0 = default 3)")
+	surrogate := flag.Bool("surrogate", false, "interleave quadratic-surrogate sizing proposals with annealer moves")
 	seed := flag.Int64("seed", 7, "random seed")
 	verify := flag.Bool("verify", false, "run a behavioral sine test on the best configuration")
 	jsonOut := flag.Bool("json", false, "emit the study result as JSON on stdout (same shape as the adcsynd service)")
@@ -118,10 +132,11 @@ func main() {
 	}
 	opts := core.Options{
 		Bits: *bits, SampleRate: *fs, VRef: *vref, Mode: mode, Retarget: *retarget,
+		Race: *raceOn, RaceRungs: *raceRungs, RaceEta: *raceEta,
 		IncludeSHA: *withSHA, Workers: *workers,
 		Synth: synth.Options{
 			Seed: *seed, MaxEvals: *evals, PatternIter: *pattern,
-			Restarts: *restarts, Cache: cache,
+			Restarts: *restarts, Cache: cache, Surrogate: *surrogate,
 		},
 	}
 	var pool *sched.Pool
@@ -194,6 +209,14 @@ func main() {
 		*bits, *fs/1e6, mode)
 	fmt.Printf("elapsed %s, %d evaluator calls, %d MDAC design points (%d paper classes)\n",
 		time.Since(t0).Round(time.Millisecond), st.TotalEvals, len(st.MDACs), st.PaperMDACClasses)
+	if st.Race != nil {
+		fmt.Printf("racing: %d rungs, %d promotions, %d candidates pruned at low fidelity\n",
+			st.Race.Rungs, st.Race.Promotions, st.Race.Pruned)
+	}
+	if st.SurrogateProposals > 0 {
+		fmt.Printf("surrogate: %d proposals, %d accepted by the annealer\n",
+			st.SurrogateProposals, st.SurrogateAccepted)
+	}
 	if cache != nil {
 		cs := cache.Stats()
 		fmt.Printf("synthesis cache: %d hits (%d from disk), %d misses in %s\n",

@@ -7,7 +7,7 @@
 //
 //	adcsynd [-addr :8080] [-workers 0] [-queue 16] [-executors 1]
 //	        [-cache-dir DIR] [-state-dir DIR] [-retain 256] [-retain-age 1h]
-//	        [-job-timeout 0] [-drain-timeout 30s] [-pprof ADDR]
+//	        [-job-timeout 0] [-race-default] [-drain-timeout 30s] [-pprof ADDR]
 //	        [-node URL -peers URL,URL,... [-vnodes 64] [-lease 10s]
 //	         [-heartbeat 1s] [-metrics-aggregate]]
 //
@@ -26,6 +26,11 @@
 //	GET    /metrics               Prometheus text format
 //	GET    /healthz               liveness (always 200 while serving)
 //	GET    /readyz                readiness (503 while draining or replaying)
+//
+// -race-default normalizes every submitted study onto the
+// successive-halving racing scheduler (DESIGN.md §5.9) at admission, so
+// the daemon's dedup keys, journal, and cluster routing all see the
+// normalized request; in cluster mode set it identically on every node.
 //
 // Identical concurrent submissions (same content address over every
 // study-shaping knob) share one execution. A full queue answers 429 with
@@ -82,6 +87,7 @@ func main() {
 	retain := flag.Int("retain", 256, "terminal jobs kept queryable before eviction")
 	retainAge := flag.Duration("retain-age", time.Hour, "terminal jobs older than this are evicted (0 = no age bound)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock budget per study (0 = unlimited)")
+	raceDefault := flag.Bool("race-default", false, "run every submitted study under the successive-halving racing scheduler unless the request asked itself")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
 	pprofAddr := flag.String("pprof", "", "loopback address for net/http/pprof, e.g. 127.0.0.1:6060 (empty = off)")
 	nodeURL := flag.String("node", "", "this node's advertised URL in cluster mode, e.g. http://10.0.0.3:8080 (empty = single node)")
@@ -133,16 +139,17 @@ func main() {
 		defer journal.Close()
 	}
 	man := service.NewManager(service.Config{
-		Workers:    *workers,
-		QueueCap:   *queueCap,
-		Executors:  *executors,
-		JobTimeout: *jobTimeout,
-		Cache:      cache,
-		Journal:    journal,
-		Retain:     *retain,
-		RetainAge:  *retainAge,
-		NodeID:     *nodeURL,
-		Lease:      *lease,
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		Executors:   *executors,
+		JobTimeout:  *jobTimeout,
+		DefaultRace: *raceDefault,
+		Cache:       cache,
+		Journal:     journal,
+		Retain:      *retain,
+		RetainAge:   *retainAge,
+		NodeID:      *nodeURL,
+		Lease:       *lease,
 	})
 	if journal != nil {
 		stats, err := man.Recover()

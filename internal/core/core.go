@@ -31,6 +31,7 @@ import (
 	"pipesyn/internal/hybrid"
 	"pipesyn/internal/opamp"
 	"pipesyn/internal/pdk"
+	"pipesyn/internal/race"
 	"pipesyn/internal/sched"
 	"pipesyn/internal/sha"
 	"pipesyn/internal/stagespec"
@@ -54,6 +55,26 @@ type Options struct {
 	// power-comparison studies default to independent cold syntheses and
 	// the retargeting benchmark exercises this flag explicitly.
 	Retarget bool
+	// Race turns on the successive-halving racing scheduler (DESIGN.md
+	// §5.9): every enumeration candidate first runs at a cheap
+	// low-fidelity synthesis budget (MaxEvals and PatternIter divided by
+	// RaceEta per rung gap), the top half by feasibility-then-cost is
+	// promoted rung by rung, and only the survivors pay full fidelity —
+	// warm-started from their own low-fidelity best sizing, which also
+	// triggers the retargeting budget shrink. The mechanized analogue of
+	// the paper's designer discarding clearly losing stage-resolution
+	// configurations before spending simulation time on them. Supersedes
+	// Retarget's cross-point warm chaining when both are set. Joins the
+	// study key (with RaceRungs/RaceEta) only when on.
+	Race bool
+	// RaceRungs and RaceEta shape the racing plan: the number of fidelity
+	// rungs (default 2) and the budget ratio between adjacent rungs
+	// (default 3 — empirically the point where the low-fidelity basins
+	// are good enough that warm-started survivors match or beat the
+	// uniform flow's final power while well over 30% of the evaluator
+	// calls are saved). Ignored unless Race is set.
+	RaceRungs int
+	RaceEta   int
 	// IncludeSHA also synthesizes the front-end sample-and-hold
 	// amplifier. Its power is identical across candidates (the paper
 	// excludes it from the comparison figures for that reason) and is
@@ -85,6 +106,8 @@ type Options struct {
 //   - "point_start": Point (0-based), Stage, Bits, PriorBits.
 //   - "point_done":  the above plus CacheHit, Feasible, Power, Evals.
 //   - "sha_start", "sha_done": the front-end S/H synthesis (IncludeSHA).
+//   - "race_rung": Rung (1-based), Candidates (entrants), Promoted,
+//     Pruned — one racing rung finished and its promotion was decided.
 //   - "yield_chunk": Done, Draws, Pass — Monte-Carlo yield-lane progress
 //     (emitted by the serving layer, not by Optimize itself).
 type ProgressEvent struct {
@@ -102,6 +125,9 @@ type ProgressEvent struct {
 	Done       int     `json:"done,omitempty"`
 	Draws      int     `json:"draws,omitempty"`
 	Pass       int     `json:"pass,omitempty"`
+	Rung       int     `json:"rung,omitempty"`
+	Promoted   int     `json:"promoted,omitempty"`
+	Pruned     int     `json:"pruned,omitempty"`
 }
 
 // emit delivers a progress event when a sink is configured.
@@ -120,6 +146,12 @@ func (o *Options) fillDefaults() {
 	}
 	if o.SampleRate == 0 {
 		o.SampleRate = 40e6
+	}
+	if o.RaceRungs == 0 {
+		o.RaceRungs = 2
+	}
+	if o.RaceEta == 0 {
+		o.RaceEta = 3
 	}
 }
 
@@ -150,6 +182,11 @@ type CandidateResult struct {
 	Stages      []StageResult
 	TotalPower  float64 // sum over the leading stages (the paper's Fig. 2 metric)
 	AllFeasible bool
+	// Pruned marks a candidate the racing scheduler eliminated at a
+	// low-fidelity rung; its Stages and TotalPower reflect the reduced
+	// budget it was last costed at, and it always ranks below every
+	// full-fidelity survivor. Never set outside Options.Race.
+	Pruned bool
 }
 
 // DesignPoint identifies one exact MDAC design point: stage position, raw
@@ -188,6 +225,23 @@ type Study struct {
 	// SHA is the synthesized front-end sample-and-hold (nil unless
 	// Options.IncludeSHA); its power adds to every candidate equally.
 	SHA *synth.Result
+	// Race summarizes the successive-halving scheduler's work (nil
+	// unless Options.Race).
+	Race *RaceStats
+	// SurrogateProposals / SurrogateAccepted aggregate the quadratic
+	// surrogate's counters across every synthesis in the study (0 unless
+	// Options.Synth.Surrogate).
+	SurrogateProposals int
+	SurrogateAccepted  int
+}
+
+// RaceStats is the racing scheduler's scorecard: how many fidelity
+// rungs ran, how many candidate promotions were granted across them,
+// and how many candidates were pruned before full fidelity.
+type RaceStats struct {
+	Rungs      int
+	Promotions int
+	Pruned     int
 }
 
 // FullPower returns a candidate's leading-stage power plus the shared
@@ -231,13 +285,26 @@ func StudyKey(opts Options) string {
 		// keys the same way: omitted unless the reuse path is on.
 		BatchEval   int  `json:",omitempty"`
 		NewtonReuse bool `json:",omitempty"`
+		// The surrogate and racing knobs change the search trajectory
+		// only when on, so they key the same way: omitted at their
+		// defaults, with the racing shape keyed only under Race.
+		Surrogate bool `json:",omitempty"`
+		Race      bool `json:",omitempty"`
+		RaceRungs int  `json:",omitempty"`
+		RaceEta   int  `json:",omitempty"`
 	}
 	kf := keyFields{opts.Bits, opts.SampleRate, opts.VRef, opts.Process.Name, int(opts.Mode),
 		opts.Constraints, opts.Retarget, opts.IncludeSHA,
 		s.Seed, s.MaxEvals, s.PatternIter, s.Restarts,
-		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology), 0, s.NewtonReuse}
+		s.InitTemp, s.CoolRate, s.PenaltyW, int(s.Topology), 0, s.NewtonReuse,
+		s.Surrogate, false, 0, 0}
 	if s.BatchEval > 1 {
 		kf.BatchEval = s.BatchEval
+	}
+	if opts.Race {
+		kf.Race = true
+		kf.RaceRungs = opts.RaceRungs
+		kf.RaceEta = opts.RaceEta
 	}
 	blob, err := json.Marshal(kf)
 	if err != nil {
@@ -319,7 +386,7 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 	// dispatches once its potential warm sources are done, so the
 	// parallel schedule picks the same seed the serial one does.
 	warmIdx := make([][]int, len(keys))
-	if opts.Retarget {
+	if opts.Retarget && !opts.Race {
 		for i, key := range keys {
 			for j := 0; j < i; j++ {
 				if prev := keys[j]; prev.Stage == key.Stage-1 && prev.Bits == key.Bits {
@@ -335,61 +402,64 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 	}
 
 	opts.emit(ProgressEvent{Kind: "plan", Points: len(keys), Candidates: len(cands)})
-	resArr := make([]*synth.Result, len(keys))
-	warmFrom := make([]*DesignPoint, len(keys))
-	nodes := make([]sched.Node, len(keys))
-	for i := range keys {
-		i := i
-		key := keys[i]
-		deps := warmIdx[i]
-		nodes[i] = sched.Node{
-			Deps:  deps,
-			Label: fmt.Sprintf("design point stage %d (%d-bit)", key.Stage, key.Bits),
-			Run: func(ctx context.Context) error {
-				sOpts := opts.Synth
-				sOpts.Mode = opts.Mode
-				sOpts.Seed = opts.Synth.Seed + int64(i+1)
-				sOpts.Pool = pool
-				if opts.Retarget {
-					for _, j := range deps {
-						if prev := resArr[j]; prev != nil && prev.Feasible {
-							sOpts.WarmStart = prev.Sizing
-							k := keys[j]
-							warmFrom[i] = &k
-							break
+	var results map[DesignPoint]*synth.Result
+	var prunedCand map[int]bool
+	if opts.Race {
+		var err error
+		results, prunedCand, err = runRace(ctx, &opts, study, keys, specOf, specsByCand, cands, pool)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		resArr := make([]*synth.Result, len(keys))
+		warmFrom := make([]*DesignPoint, len(keys))
+		nodes := make([]sched.Node, len(keys))
+		for i := range keys {
+			i := i
+			key := keys[i]
+			deps := warmIdx[i]
+			nodes[i] = sched.Node{
+				Deps:  deps,
+				Label: fmt.Sprintf("design point stage %d (%d-bit)", key.Stage, key.Bits),
+				Run: func(ctx context.Context) error {
+					sOpts := opts.Synth
+					sOpts.Mode = opts.Mode
+					sOpts.Seed = opts.Synth.Seed + int64(i+1)
+					sOpts.Pool = pool
+					if opts.Retarget {
+						for _, j := range deps {
+							if prev := resArr[j]; prev != nil && prev.Feasible {
+								sOpts.WarmStart = prev.Sizing
+								k := keys[j]
+								warmFrom[i] = &k
+								break
+							}
 						}
 					}
-				}
-				opts.emit(ProgressEvent{Kind: "point_start", Point: i, Points: len(keys),
-					Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits})
-				res, err := synth.Synthesize(ctx, specOf[key], opts.Process, sOpts)
-				if err != nil {
-					return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
-				}
-				resArr[i] = res
-				opts.emit(ProgressEvent{Kind: "point_done", Point: i, Points: len(keys),
-					Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits,
-					CacheHit: res.CacheHit, Feasible: res.Feasible,
-					Power: res.Metrics.Power, Evals: res.Evals})
-				return nil
-			}}
-	}
-	if err := sched.Run(ctx, pool, nodes); err != nil {
-		return nil, err
-	}
-	results := map[DesignPoint]*synth.Result{}
-	for i, key := range keys {
-		res := resArr[i]
-		results[key] = res
-		study.TotalEvals += res.Evals
-		if opts.Synth.Cache != nil {
-			if res.CacheHit {
-				study.CacheHits++
-			} else {
-				study.CacheMisses++
-			}
+					opts.emit(ProgressEvent{Kind: "point_start", Point: i, Points: len(keys),
+						Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits})
+					res, err := synth.Synthesize(ctx, specOf[key], opts.Process, sOpts)
+					if err != nil {
+						return fmt.Errorf("core: synthesis of stage %d (%d-bit): %w", key.Stage, key.Bits, err)
+					}
+					resArr[i] = res
+					opts.emit(ProgressEvent{Kind: "point_done", Point: i, Points: len(keys),
+						Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits,
+						CacheHit: res.CacheHit, Feasible: res.Feasible,
+						Power: res.Metrics.Power, Evals: res.Evals})
+					return nil
+				}}
 		}
-		study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: res, WarmFrom: warmFrom[i]})
+		if err := sched.Run(ctx, pool, nodes); err != nil {
+			return nil, err
+		}
+		results = map[DesignPoint]*synth.Result{}
+		for i, key := range keys {
+			res := resArr[i]
+			results[key] = res
+			accountResult(study, res, opts.Synth.Cache != nil)
+			study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: res, WarmFrom: warmFrom[i]})
+		}
 	}
 
 	// Cost every candidate from the shared design-point results. The
@@ -397,7 +467,7 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 	// once per key and shared across the candidates that contain it.
 	banks := make(map[DesignPoint]subadc.Bank, len(keys))
 	for i, cfg := range cands {
-		cr := CandidateResult{Config: cfg, AllFeasible: true}
+		cr := CandidateResult{Config: cfg, AllFeasible: true, Pruned: prunedCand[i]}
 		for _, sp := range specsByCand[i] {
 			key := DesignPoint{Stage: sp.Stage, Bits: sp.Bits, PriorBits: sp.PriorBits}
 			res := results[key]
@@ -427,7 +497,13 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 	}
 	sort.Slice(study.Candidates, func(i, j int) bool {
 		a, b := study.Candidates[i], study.Candidates[j]
-		// Fully feasible candidates outrank partially infeasible ones.
+		// Full-fidelity survivors outrank race-pruned candidates — a
+		// pruned power number was costed at a reduced budget and is not
+		// comparable — then fully feasible candidates outrank partially
+		// infeasible ones.
+		if a.Pruned != b.Pruned {
+			return !a.Pruned
+		}
 		if a.AllFeasible != b.AllFeasible {
 			return a.AllFeasible
 		}
@@ -451,16 +527,179 @@ func Optimize(ctx context.Context, opts Options) (*Study, error) {
 		opts.emit(ProgressEvent{Kind: "sha_done", CacheHit: res.CacheHit,
 			Feasible: res.Feasible, Power: res.Metrics.Power, Evals: res.Evals})
 		study.SHA = res
-		study.TotalEvals += res.Evals
-		if opts.Synth.Cache != nil {
-			if res.CacheHit {
-				study.CacheHits++
-			} else {
-				study.CacheMisses++
-			}
-		}
+		accountResult(study, res, opts.Synth.Cache != nil)
 	}
 	return study, nil
+}
+
+// accountResult folds one completed synthesis into the study-level
+// accounting: evaluator spend, cache traffic, surrogate counters.
+func accountResult(st *Study, res *synth.Result, cacheOn bool) {
+	st.TotalEvals += res.Evals
+	st.SurrogateProposals += res.SurrogateProposals
+	st.SurrogateAccepted += res.SurrogateAccepted
+	if cacheOn {
+		if res.CacheHit {
+			st.CacheHits++
+		} else {
+			st.CacheMisses++
+		}
+	}
+}
+
+// runRace executes the successive-halving schedule: every rung
+// synthesizes the design points the still-active candidates need at
+// that rung's reduced budget, ranks the candidates by
+// feasibility-then-cost, and promotes the top half into the next rung;
+// the final rung runs at full fidelity, each survivor's points
+// warm-started from their own lower-fidelity best sizing (racing's
+// WarmFrom is the point itself, so MDAC records carry nil).
+//
+// Determinism matches the uniform path's contract: per-point seeds are
+// fixed by the global sorted-key index (identical across rungs, so a
+// rung is a budget change, not a reseed), every reduction and promotion
+// happens in index order, and the returned maps are bit-identical for
+// any worker count. It returns the latest result per design point and
+// the set of candidate indices that were pruned before full fidelity.
+func runRace(ctx context.Context, opts *Options, study *Study, keys []DesignPoint,
+	specOf map[DesignPoint]stagespec.MDACSpec, specsByCand [][]stagespec.MDACSpec,
+	cands []enum.Config, pool *sched.Pool) (map[DesignPoint]*synth.Result, map[int]bool, error) {
+
+	// Canonical() applies the synthesis defaults without the warm-start
+	// shrink, giving the full-fidelity budget the rung divisors scale.
+	canon := opts.Synth.Canonical()
+	plan := race.Plan(len(cands), opts.RaceRungs, opts.RaceEta)
+	study.Race = &RaceStats{Rungs: len(plan)}
+	pointOf := func(sp stagespec.MDACSpec) DesignPoint {
+		return DesignPoint{Stage: sp.Stage, Bits: sp.Bits, PriorBits: sp.PriorBits}
+	}
+
+	active := make([]int, len(cands))
+	for i := range active {
+		active[i] = i
+	}
+	results := make(map[DesignPoint]*synth.Result, len(keys))
+	banks := make(map[DesignPoint]subadc.Bank, len(keys))
+	pruned := make(map[int]bool)
+	cacheOn := opts.Synth.Cache != nil
+
+	for r, rung := range plan {
+		entrants := len(active)
+		// The design points the surviving candidates still need, in the
+		// global sorted-key order every worker count walks identically.
+		needSet := make(map[DesignPoint]bool)
+		for _, ci := range active {
+			for _, sp := range specsByCand[ci] {
+				needSet[pointOf(sp)] = true
+			}
+		}
+		needed := make([]int, 0, len(needSet))
+		for i, key := range keys {
+			if needSet[key] {
+				needed = append(needed, i)
+			}
+		}
+
+		resArr := make([]*synth.Result, len(needed))
+		errArr := make([]error, len(needed))
+		if err := pool.ForEach(ctx, len(needed), func(j int) {
+			i := needed[j]
+			key := keys[i]
+			sOpts := opts.Synth
+			sOpts.Mode = opts.Mode
+			sOpts.Seed = opts.Synth.Seed + int64(i+1)
+			sOpts.Pool = pool
+			sOpts.MaxEvals = canon.MaxEvals / rung.Divisor
+			if sOpts.MaxEvals < 1 {
+				sOpts.MaxEvals = 1
+			}
+			sOpts.PatternIter = canon.PatternIter / rung.Divisor
+			if sOpts.PatternIter < 1 {
+				sOpts.PatternIter = 1
+			}
+			if r > 0 {
+				// Promotion fidelity: continue from this point's own best
+				// sizing one rung down. Every needed key ran in the prior
+				// rung (the active set only shrinks), so the lookup is a
+				// completed result, never a data race.
+				if prev := results[key]; prev != nil && prev.Feasible {
+					sOpts.WarmStart = prev.Sizing
+				}
+			}
+			opts.emit(ProgressEvent{Kind: "point_start", Point: i, Points: len(keys),
+				Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits, Rung: r + 1})
+			res, err := synth.Synthesize(ctx, specOf[key], opts.Process, sOpts)
+			if err != nil {
+				errArr[j] = fmt.Errorf("core: rung %d synthesis of stage %d (%d-bit): %w",
+					r+1, key.Stage, key.Bits, err)
+				return
+			}
+			resArr[j] = res
+			opts.emit(ProgressEvent{Kind: "point_done", Point: i, Points: len(keys),
+				Stage: key.Stage, Bits: key.Bits, PriorBits: key.PriorBits, Rung: r + 1,
+				CacheHit: res.CacheHit, Feasible: res.Feasible,
+				Power: res.Metrics.Power, Evals: res.Evals})
+		}); err != nil {
+			return nil, nil, err
+		}
+		for _, err := range errArr {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for j, i := range needed {
+			results[keys[i]] = resArr[j]
+			accountResult(study, resArr[j], cacheOn)
+		}
+
+		promotedN := 0
+		if rung.Keep > 0 {
+			standings := make([]race.Standing, len(active))
+			for si, ci := range active {
+				st := race.Standing{Index: ci, Feasible: true}
+				for _, sp := range specsByCand[ci] {
+					key := pointOf(sp)
+					res := results[key]
+					bank, ok := banks[key]
+					if !ok {
+						var err error
+						bank, err = subadc.Design(sp, opts.Process, opts.SampleRate)
+						if err != nil {
+							return nil, nil, fmt.Errorf("core: %s stage %d sub-ADC: %w", cands[ci], sp.Stage, err)
+						}
+						banks[key] = bank
+					}
+					st.Cost += res.Metrics.Power + bank.TotalPower
+					st.Feasible = st.Feasible && res.Feasible
+				}
+				standings[si] = st
+			}
+			next := race.Promote(standings, rung.Keep)
+			nextSet := make(map[int]bool, len(next))
+			for _, ci := range next {
+				nextSet[ci] = true
+			}
+			for _, ci := range active {
+				if !nextSet[ci] {
+					pruned[ci] = true
+				}
+			}
+			promotedN = len(next)
+			study.Race.Promotions += len(next)
+			study.Race.Pruned += len(active) - len(next)
+			active = next
+		}
+		opts.emit(ProgressEvent{Kind: "race_rung", Rung: r + 1,
+			Candidates: entrants, Promoted: promotedN, Pruned: study.Race.Pruned})
+	}
+
+	// Every key was synthesized at rung 0 (all candidates start active),
+	// so the record set is complete; pruned candidates' points stay at
+	// the last fidelity they were costed at.
+	for _, key := range keys {
+		study.MDACs = append(study.MDACs, MDACRecord{Key: key, Result: results[key]})
+	}
+	return results, pruned, nil
 }
 
 // Sweep runs studies across target resolutions (the paper's 10–13 bit

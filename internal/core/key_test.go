@@ -52,13 +52,41 @@ func TestStudyKeyIgnoresExecutionKnobs(t *testing.T) {
 		t.Fatalf("Synth.BatchEval=1 changed the key: %q vs %q", got, key)
 	}
 
+	// The racing shape is dormant without Race: spelled-out defaults (or
+	// any rungs/eta value) with Race off must not move the key, so
+	// pre-racing journaled addresses stay reachable.
+	shapeOnly := base
+	shapeOnly.RaceRungs = 3
+	shapeOnly.RaceEta = 8
+	if got := StudyKey(shapeOnly); got != key {
+		t.Fatalf("RaceRungs/RaceEta changed the key without Race: %q vs %q", got, key)
+	}
+
+	// With Race on, the shape participates: defaults spelled explicitly
+	// match the implicit form, and a different shape is a different study.
+	raced := base
+	raced.Race = true
+	racedSpelled := raced
+	racedSpelled.RaceRungs = 2
+	racedSpelled.RaceEta = 3
+	if StudyKey(raced) != StudyKey(racedSpelled) {
+		t.Fatal("explicit racing defaults diverged from the implicit form")
+	}
+	deeper := raced
+	deeper.RaceRungs = 3
+	if StudyKey(deeper) == StudyKey(raced) {
+		t.Fatal("RaceRungs did not move the key under Race")
+	}
+
 	for name, mut := range map[string]func(*Options){
-		"bits":  func(o *Options) { o.Bits = 13 },
-		"rate":  func(o *Options) { o.SampleRate = 80e6 },
-		"seed":  func(o *Options) { o.Synth.Seed = 8 },
-		"mode":  func(o *Options) { o.Mode = 2 },
-		"sha":   func(o *Options) { o.IncludeSHA = true },
-		"batch": func(o *Options) { o.Synth.BatchEval = 8 },
+		"bits":      func(o *Options) { o.Bits = 13 },
+		"rate":      func(o *Options) { o.SampleRate = 80e6 },
+		"seed":      func(o *Options) { o.Synth.Seed = 8 },
+		"mode":      func(o *Options) { o.Mode = 2 },
+		"sha":       func(o *Options) { o.IncludeSHA = true },
+		"batch":     func(o *Options) { o.Synth.BatchEval = 8 },
+		"race":      func(o *Options) { o.Race = true },
+		"surrogate": func(o *Options) { o.Synth.Surrogate = true },
 	} {
 		changed := base
 		mut(&changed)

@@ -1,0 +1,104 @@
+package race
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPlanShape(t *testing.T) {
+	// Two rungs at eta 4: a quarter-budget screen, then full fidelity.
+	got := Plan(7, 2, 4)
+	want := []Rung{{Divisor: 4, Keep: 4}, {Divisor: 1, Keep: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Plan(7,2,4) = %+v, want %+v", got, want)
+	}
+
+	// Three rungs: divisors are eta^2, eta, 1 and the halving chains
+	// 7 → 4 → 2.
+	got = Plan(7, 3, 3)
+	want = []Rung{{Divisor: 9, Keep: 4}, {Divisor: 3, Keep: 2}, {Divisor: 1, Keep: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Plan(7,3,3) = %+v, want %+v", got, want)
+	}
+
+	// One rung is the uniform-budget flow: full fidelity, no pruning.
+	got = Plan(7, 1, 4)
+	want = []Rung{{Divisor: 1, Keep: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Plan(7,1,4) = %+v, want %+v", got, want)
+	}
+
+	// Clamps: zero/negative arguments degrade to sane plans instead of
+	// panicking or emitting divisor 0.
+	for _, p := range [][]Rung{Plan(0, 0, 0), Plan(1, 2, 1), Plan(3, 2, -5)} {
+		for _, r := range p {
+			if r.Divisor < 1 {
+				t.Fatalf("plan emitted divisor %d", r.Divisor)
+			}
+		}
+		if p[len(p)-1].Divisor != 1 || p[len(p)-1].Keep != 0 {
+			t.Fatalf("final rung must be full fidelity with no promotion: %+v", p)
+		}
+	}
+
+	// A single candidate is never pruned away.
+	for _, r := range Plan(1, 3, 4) {
+		if r.Keep < 0 || (r.Keep == 0) != (r.Divisor == 1) {
+			t.Fatalf("single-candidate plan pruned the field: %+v", r)
+		}
+	}
+}
+
+func TestPromoteRanking(t *testing.T) {
+	standings := []Standing{
+		{Index: 0, Feasible: true, Cost: 3.0},
+		{Index: 1, Feasible: false, Cost: 0.1}, // cheap but infeasible
+		{Index: 2, Feasible: true, Cost: 1.0},
+		{Index: 3, Feasible: true, Cost: 2.0},
+		{Index: 4, Feasible: false, Cost: 9.0},
+	}
+	// Feasibility dominates cost: the cheap infeasible candidate loses to
+	// every feasible one.
+	if got, want := Promote(standings, 3), []int{0, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Promote(.., 3) = %v, want %v", got, want)
+	}
+	// With everything feasible exhausted, infeasibles rank by cost.
+	if got, want := Promote(standings, 4), []int{0, 1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Promote(.., 4) = %v, want %v", got, want)
+	}
+	// keep beyond the field promotes everyone; keep 0 promotes no one.
+	if got := Promote(standings, 99); len(got) != 5 {
+		t.Fatalf("oversized keep promoted %d of 5", len(got))
+	}
+	if got := Promote(standings, 0); got != nil {
+		t.Fatalf("keep=0 promoted %v", got)
+	}
+	// Input order is untouched.
+	if standings[1].Index != 1 || standings[0].Cost != 3.0 {
+		t.Fatal("Promote mutated its input")
+	}
+}
+
+func TestPromoteDeterministicTieBreak(t *testing.T) {
+	// Exact cost ties resolve by enumeration index, so a racing study is
+	// reproducible bit for bit no matter how the standings were computed.
+	standings := []Standing{
+		{Index: 3, Feasible: true, Cost: 1.0},
+		{Index: 1, Feasible: true, Cost: 1.0},
+		{Index: 2, Feasible: true, Cost: 1.0},
+	}
+	if got, want := Promote(standings, 2), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie break = %v, want lowest indices %v", got, want)
+	}
+	// NaN costs (a candidate whose every stage failed to evaluate) must
+	// not poison the ordering: they sort after real costs within their
+	// feasibility class because every comparison with NaN is false.
+	withNaN := []Standing{
+		{Index: 0, Feasible: false, Cost: math.NaN()},
+		{Index: 1, Feasible: true, Cost: 2.0},
+	}
+	if got, want := Promote(withNaN, 1), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("NaN handling = %v, want %v", got, want)
+	}
+}

@@ -232,6 +232,13 @@ type Config struct {
 	// RetainAge additionally evicts terminal jobs older than this
 	// (0 = no age bound).
 	RetainAge time.Duration
+	// DefaultRace turns the successive-halving racing scheduler on for
+	// every submitted study that did not ask for racing itself (the
+	// daemon's -race-default). Normalization happens at admission, before
+	// key computation and journaling, so dedup, recovery, and cluster
+	// handoff all see the normalized request. In cluster mode every node
+	// must agree on this flag, like the rest of the ring configuration.
+	DefaultRace bool
 	// NodeID is this node's cluster identity (its advertised base URL).
 	// Empty outside cluster mode. Stamped on every job as its owner and
 	// journaled with submit/start records.
@@ -543,6 +550,7 @@ func computeRetryAfter(avgJob time.Duration, depth, executors int) int {
 // submissions share one run. A full queue returns ErrQueueFull; a
 // draining manager returns ErrDraining.
 func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
+	req = m.normalize(req)
 	opts, err := req.Options()
 	if err != nil {
 		return nil, false, err
@@ -605,6 +613,7 @@ func (m *Manager) Submit(req StudyRequest) (job *Job, deduped bool, err error) {
 // in-flight job holds the same content address, that job is returned
 // with accepted=false — the takeover became a no-op or a dedup.
 func (m *Manager) Resubmit(id string, req StudyRequest) (job *Job, accepted bool, err error) {
+	req = m.normalize(req)
 	opts, err := req.Options()
 	if err != nil {
 		return nil, false, err
@@ -661,6 +670,16 @@ func (m *Manager) Resubmit(id string, req StudyRequest) (job *Job, accepted bool
 		})
 	}
 	return job, true, nil
+}
+
+// normalize applies the daemon's request defaults before admission.
+// Idempotent: a request that already went through a peer's normalize
+// passes unchanged, so cluster handoff cannot double-apply it.
+func (m *Manager) normalize(req StudyRequest) StudyRequest {
+	if m.cfg.DefaultRace && !req.Race {
+		req.Race = true
+	}
+	return req
 }
 
 // Get looks a job up by ID.
@@ -824,6 +843,16 @@ func (m *Manager) runJob(job *Job) {
 	opts.Synth.Cache = m.cfg.Cache
 	opts.Synth.EvalHook = m.cfg.EvalHook
 	opts.Progress = func(ev core.ProgressEvent) {
+		if ev.Kind == "race_rung" {
+			// The event's Pruned is cumulative; the per-rung cut is
+			// entrants minus promotions (the final rung promotes nobody
+			// and prunes nobody).
+			pruned := 0
+			if ev.Promoted > 0 {
+				pruned = ev.Candidates - ev.Promoted
+			}
+			m.metrics.ObserveRaceRung(ev.Promoted, pruned)
+		}
 		p := ev
 		job.appendEvent("progress", func(e *Event) { e.Progress = &p })
 	}
@@ -838,6 +867,7 @@ func (m *Manager) runJob(job *Job) {
 	study, err := core.Optimize(ctx, opts)
 	var result *StudyJSON
 	if err == nil {
+		m.metrics.ObserveSurrogate(study.SurrogateProposals, study.SurrogateAccepted)
 		if job.Req.Yield() {
 			result, err = m.runYield(ctx, job, study, opts, start)
 		} else {

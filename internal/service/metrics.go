@@ -51,6 +51,15 @@ type Metrics struct {
 	yieldFail         atomic.Int64
 	yieldENOBSumMicro atomic.Int64     // Σ ENOB in micro-bits (atomics can't add floats)
 	yieldENOB         [13]atomic.Int64 // len(yieldENOBBuckets)+1 for +Inf
+
+	// Racing lane: rung/promotion/prune counters fed from race_rung
+	// progress events, and the surrogate's proposal accounting fed from
+	// completed studies.
+	raceRungs          atomic.Int64
+	racePromotions     atomic.Int64
+	racePrunes         atomic.Int64
+	surrogateProposals atomic.Int64
+	surrogateAccepted  atomic.Int64
 }
 
 // yieldENOBBuckets are the upper bounds (effective bits) of the yield
@@ -97,6 +106,23 @@ func (m *Metrics) ObserveYieldDraw(enob float64, pass bool) {
 
 // YieldDraws reports the total Monte-Carlo draws observed.
 func (m *Metrics) YieldDraws() int64 { return m.yieldPass.Load() + m.yieldFail.Load() }
+
+// ObserveRaceRung records one completed racing rung's promotion
+// decision, as carried by a race_rung progress event.
+func (m *Metrics) ObserveRaceRung(promoted, pruned int) {
+	m.raceRungs.Add(1)
+	m.racePromotions.Add(int64(promoted))
+	m.racePrunes.Add(int64(pruned))
+}
+
+// ObserveSurrogate folds one completed study's surrogate accounting in.
+func (m *Metrics) ObserveSurrogate(proposals, accepted int) {
+	m.surrogateProposals.Add(int64(proposals))
+	m.surrogateAccepted.Add(int64(accepted))
+}
+
+// RaceRungs reports the racing rungs observed.
+func (m *Metrics) RaceRungs() int64 { return m.raceRungs.Load() }
 
 // Snapshot is the point-in-time gauge set a scrape renders alongside the
 // counters; the Manager assembles it from the queue, the job table, the
@@ -215,6 +241,17 @@ func (m *Metrics) WriteTo(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "adcsynd_yield_enob_bucket{le=\"+Inf\"} %d\n", ycum)
 	fmt.Fprintf(w, "adcsynd_yield_enob_sum %g\n", float64(m.yieldENOBSumMicro.Load())/1e6)
 	fmt.Fprintf(w, "adcsynd_yield_enob_count %d\n", ycum)
+
+	counter("adcsynd_race_rungs_total", "Successive-halving rungs completed across racing studies.")
+	fmt.Fprintf(w, "adcsynd_race_rungs_total %d\n", m.raceRungs.Load())
+	counter("adcsynd_race_promotions_total", "Candidates promoted to a higher-fidelity rung.")
+	fmt.Fprintf(w, "adcsynd_race_promotions_total %d\n", m.racePromotions.Load())
+	counter("adcsynd_race_prunes_total", "Candidates dropped at a low-fidelity rung.")
+	fmt.Fprintf(w, "adcsynd_race_prunes_total %d\n", m.racePrunes.Load())
+
+	counter("adcsynd_surrogate_proposals_total", "Quadratic-surrogate sizing proposals, by whether the annealer accepted them.")
+	fmt.Fprintf(w, "adcsynd_surrogate_proposals_total{result=%q} %d\n", "proposed", m.surrogateProposals.Load())
+	fmt.Fprintf(w, "adcsynd_surrogate_proposals_total{result=%q} %d\n", "accepted", m.surrogateAccepted.Load())
 
 	gauge("adcsynd_draining", "1 while the daemon is draining for shutdown.")
 	d := 0

@@ -1,0 +1,206 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pipesyn/internal/service"
+)
+
+// tinyRace is an equation-mode racing request small enough for CI.
+func tinyRace(bits int) service.StudyRequest {
+	return service.StudyRequest{
+		Bits: bits, Mode: "equation", Evals: 60, Pattern: 40, Seed: 1, Race: true,
+	}
+}
+
+// TestServiceRaceLifecycle drives one racing study through the HTTP
+// surface end to end: the result carries the racing scorecard and pruned
+// flags, the event stream carries one race_rung line per rung, and the
+// scrape carries the adcsynd_race_* counters.
+func TestServiceRaceLifecycle(t *testing.T) {
+	man := service.NewManager(service.Config{Workers: 2, QueueCap: 4})
+	man.Start()
+	defer man.Drain(time.Second)
+	ts := httptest.NewServer(service.NewServer(man))
+	defer ts.Close()
+
+	resp, sub := postStudy(t, ts, tinyRace(12))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	st := waitState(t, ts, sub.ID, service.StateDone)
+	res := st.Result
+	if res == nil || res.Race == nil {
+		t.Fatalf("racing job finished without a race scorecard: %+v", res)
+	}
+	if res.Race.Rungs != 2 || res.Race.Pruned == 0 {
+		t.Fatalf("implausible race scorecard: %+v", res.Race)
+	}
+	if res.Best.Pruned {
+		t.Fatal("best candidate is pruned")
+	}
+	pruned := 0
+	for _, c := range res.Candidates {
+		if c.Pruned {
+			pruned++
+		}
+	}
+	if pruned != res.Race.Pruned {
+		t.Fatalf("%d candidates flagged pruned, scorecard says %d", pruned, res.Race.Pruned)
+	}
+
+	// The event stream replayed one race_rung line per rung.
+	evResp, err := http.Get(ts.URL + "/v1/studies/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	rungs := 0
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == "progress" && ev.Progress != nil && ev.Progress.Kind == "race_rung" {
+			rungs++
+			if ev.Progress.Rung != rungs || ev.Progress.Candidates == 0 {
+				t.Fatalf("bad race_rung event %+v", ev.Progress)
+			}
+		}
+	}
+	if rungs != res.Race.Rungs {
+		t.Fatalf("saw %d race_rung events, scorecard says %d rungs", rungs, res.Race.Rungs)
+	}
+
+	// The scrape carries the racing counters, fed from the same events.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, _ := io.ReadAll(mresp.Body)
+	text := string(blob)
+	for _, want := range []string{
+		"adcsynd_race_rungs_total 2",
+		"adcsynd_race_promotions_total",
+		"adcsynd_race_prunes_total",
+		`adcsynd_surrogate_proposals_total{result="proposed"}`,
+		`adcsynd_surrogate_proposals_total{result="accepted"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if man.Metrics().RaceRungs() != 2 {
+		t.Fatalf("metrics saw %d rungs, want 2", man.Metrics().RaceRungs())
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+}
+
+// The racing determinism contract holds through the whole serving stack:
+// the same racing request answered by daemons with different worker
+// counts produces identical studies, pruned flags included.
+func TestServiceRaceDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *service.StudyJSON {
+		man := service.NewManager(service.Config{Workers: workers, QueueCap: 4})
+		man.Start()
+		defer man.Drain(time.Second)
+		ts := httptest.NewServer(service.NewServer(man))
+		defer ts.Close()
+		_, sub := postStudy(t, ts, tinyRace(12))
+		return waitState(t, ts, sub.ID, service.StateDone).Result
+	}
+	a, b := run(1), run(4)
+	if a == nil || b == nil || a.Race == nil || b.Race == nil {
+		t.Fatal("missing racing results")
+	}
+	a.ElapsedSeconds, b.ElapsedSeconds = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("racing study differs across worker counts:\n1 worker: %+v\n4 workers: %+v", a, b)
+	}
+}
+
+// TestManagerDefaultRace: a daemon running with -race-default admits a
+// plain request as a racing study — under the racing content address, so
+// dedup against an explicitly raced submission still works.
+func TestManagerDefaultRace(t *testing.T) {
+	man := service.NewManager(service.Config{Workers: 2, QueueCap: 4, DefaultRace: true})
+	man.Start()
+	defer man.Drain(time.Second)
+	plain := service.StudyRequest{Bits: 12, Mode: "equation", Evals: 60, Pattern: 40, Seed: 1}
+	job, deduped, err := man.Submit(plain)
+	if err != nil || deduped {
+		t.Fatalf("submit: deduped=%v err=%v", deduped, err)
+	}
+	explicit := plain
+	explicit.Race = true
+	eopts, err := explicit.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Key != explicit.JobKey(eopts) {
+		t.Fatal("normalized job key differs from an explicitly raced request")
+	}
+	<-job.Done()
+	st := job.Status()
+	if !st.Request.Race {
+		t.Fatal("journaled request was not normalized to race")
+	}
+	if st.Result == nil || st.Result.Race == nil || st.Result.Race.Pruned == 0 {
+		t.Fatalf("defaulted racing study carries no race scorecard: %+v", st.Result)
+	}
+}
+
+func TestRaceRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  service.StudyRequest
+	}{
+		{"rungs without race", service.StudyRequest{Bits: 10, RaceRungs: 3}},
+		{"eta without race", service.StudyRequest{Bits: 10, RaceEta: 4}},
+		{"rungs over cap", service.StudyRequest{Bits: 10, Race: true, RaceRungs: 7}},
+		{"eta over cap", service.StudyRequest{Bits: 10, Race: true, RaceEta: 17}},
+		{"negative rungs", service.StudyRequest{Bits: 10, Race: true, RaceRungs: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.req.Options(); err == nil {
+			t.Errorf("%s: validated, want error", tc.name)
+		}
+	}
+
+	// A racing study and the uniform study of the same design are
+	// different jobs; the dormant shape with Race off would not be.
+	raced := service.StudyRequest{Bits: 10, Seed: 3, Race: true}
+	plain := service.StudyRequest{Bits: 10, Seed: 3}
+	ropts, err := raced.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts, err := plain.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raced.JobKey(ropts) == plain.JobKey(popts) {
+		t.Fatal("racing job key must differ from the uniform study key")
+	}
+	surro := plain
+	surro.Surrogate = true
+	sopts, err := surro.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surro.JobKey(sopts) == plain.JobKey(popts) {
+		t.Fatal("surrogate must shape the job key")
+	}
+}

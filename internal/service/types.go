@@ -47,6 +47,15 @@ type StudyRequest struct {
 	Retarget   bool    `json:"retarget,omitempty"` // chain warm starts across MDACs
 	SHA        bool    `json:"sha,omitempty"`      // also synthesize the front-end S/H
 
+	// Race turns on the successive-halving racing scheduler; RaceRungs
+	// and RaceEta shape its plan (defaults 2 and 3) and are only valid
+	// alongside Race. Surrogate interleaves deterministic quadratic-model
+	// sizing proposals with the annealer's random moves.
+	Race      bool `json:"race,omitempty"`
+	RaceRungs int  `json:"raceRungs,omitempty"`
+	RaceEta   int  `json:"raceEta,omitempty"`
+	Surrogate bool `json:"surrogate,omitempty"`
+
 	// Mode "yield" only: Monte-Carlo draw count (default 1000) and the
 	// pass/fail ENOB spec (default bits−1).
 	Draws   int     `json:"draws,omitempty"`
@@ -91,6 +100,18 @@ func (r StudyRequest) Options() (core.Options, error) {
 	if !r.Yield() && (r.Draws != 0 || r.MinENOB != 0) {
 		return core.Options{}, fmt.Errorf("draws/minEnob require mode %q", "yield")
 	}
+	// The racing shape is likewise rejected without the racing switch —
+	// a dropped "race": true would otherwise silently run the uniform
+	// flow under a different content address than the caller expects.
+	if !r.Race && (r.RaceRungs != 0 || r.RaceEta != 0) {
+		return core.Options{}, fmt.Errorf("raceRungs/raceEta require race")
+	}
+	if r.RaceRungs < 0 || r.RaceRungs > 6 {
+		return core.Options{}, fmt.Errorf("raceRungs %d out of range [0, 6]", r.RaceRungs)
+	}
+	if r.RaceEta < 0 || r.RaceEta > 16 {
+		return core.Options{}, fmt.Errorf("raceEta %d out of range [0, 16]", r.RaceEta)
+	}
 	if r.Draws < 0 || r.Draws > 100000 {
 		return core.Options{}, fmt.Errorf("draws %d out of range [0, 100000]", r.Draws)
 	}
@@ -112,12 +133,16 @@ func (r StudyRequest) Options() (core.Options, error) {
 		VRef:       r.VRef,
 		Mode:       mode,
 		Retarget:   r.Retarget,
+		Race:       r.Race,
+		RaceRungs:  r.RaceRungs,
+		RaceEta:    r.RaceEta,
 		IncludeSHA: r.SHA,
 		Synth: synth.Options{
 			Seed:        r.Seed,
 			MaxEvals:    r.Evals,
 			PatternIter: r.Pattern,
 			Restarts:    r.Restarts,
+			Surrogate:   r.Surrogate,
 		},
 	}, nil
 }
@@ -134,10 +159,20 @@ type StageJSON struct {
 
 // CandidateJSON is one enumerated configuration fully costed.
 type CandidateJSON struct {
-	Config      []int       `json:"config"`
-	TotalPowerW float64     `json:"totalPowerW"`
-	AllFeasible bool        `json:"allFeasible"`
-	Stages      []StageJSON `json:"stages,omitempty"`
+	Config      []int   `json:"config"`
+	TotalPowerW float64 `json:"totalPowerW"`
+	AllFeasible bool    `json:"allFeasible"`
+	// Pruned marks a candidate the racing scheduler dropped at a
+	// low-fidelity rung; its power was costed at a reduced budget.
+	Pruned bool        `json:"pruned,omitempty"`
+	Stages []StageJSON `json:"stages,omitempty"`
+}
+
+// RaceJSON is the racing scheduler's scorecard on the wire.
+type RaceJSON struct {
+	Rungs      int `json:"rungs"`
+	Promotions int `json:"promotions"`
+	Pruned     int `json:"pruned"`
 }
 
 // StudyJSON is the machine-readable study result: the daemon's response
@@ -156,6 +191,12 @@ type StudyJSON struct {
 	SHAPowerW        float64         `json:"shaPowerW,omitempty"`
 	FullPowerW       float64         `json:"fullPowerW,omitempty"`
 	ElapsedSeconds   float64         `json:"elapsedSeconds"`
+	// Race summarizes the successive-halving scheduler's work; only
+	// racing studies carry it. The surrogate counters aggregate the
+	// quadratic model's proposals across every synthesis in the study.
+	Race               *RaceJSON `json:"race,omitempty"`
+	SurrogateProposals int       `json:"surrogateProposals,omitempty"`
+	SurrogateAccepted  int       `json:"surrogateAccepted,omitempty"`
 	// Behavioral is the optional closed-loop sine-test verdict (the
 	// adcsyn -verify -json path fills it; the daemon leaves it nil).
 	Behavioral *BehavioralJSON `json:"behavioral,omitempty"`
@@ -195,6 +236,11 @@ func EncodeStudy(st *core.Study, mode hybrid.Mode, elapsed time.Duration) *Study
 		out.SHAPowerW = st.SHA.Metrics.Power
 		out.FullPowerW = st.FullPower(st.Best)
 	}
+	if st.Race != nil {
+		out.Race = &RaceJSON{Rungs: st.Race.Rungs, Promotions: st.Race.Promotions, Pruned: st.Race.Pruned}
+	}
+	out.SurrogateProposals = st.SurrogateProposals
+	out.SurrogateAccepted = st.SurrogateAccepted
 	return out
 }
 
@@ -203,6 +249,7 @@ func encodeCandidate(c core.CandidateResult, withStages bool) CandidateJSON {
 		Config:      append([]int(nil), c.Config...),
 		TotalPowerW: c.TotalPower,
 		AllFeasible: c.AllFeasible,
+		Pruned:      c.Pruned,
 	}
 	if withStages {
 		for _, s := range c.Stages {

@@ -74,10 +74,13 @@ func CacheKey(spec stagespec.MDACSpec, proc *pdk.Process, opts Options) string {
 		// reuse path can shift the trajectory, so it keys only when on.
 		BatchEval   int  `json:",omitempty"`
 		NewtonReuse bool `json:",omitempty"`
+		// Surrogate redirects every few annealer moves to the quadratic
+		// model's proposal, changing the trajectory; keys only when on.
+		Surrogate bool `json:",omitempty"`
 	}
 	kf := keyFields{spec, procName, opts.Seed, opts.MaxEvals, opts.PatternIter,
 		opts.Restarts, opts.InitTemp, opts.CoolRate, opts.PenaltyW,
-		int(opts.Mode), int(opts.Topology), 0, opts.NewtonReuse}
+		int(opts.Mode), int(opts.Topology), 0, opts.NewtonReuse, opts.Surrogate}
 	if opts.BatchEval > 1 {
 		kf.BatchEval = opts.BatchEval
 	}

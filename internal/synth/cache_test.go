@@ -206,6 +206,52 @@ func TestSynthesizeCacheHitSkipsEvaluator(t *testing.T) {
 	}
 }
 
+// TestCacheHitPreservesEvalsToFeasible pins the racing metric through a
+// cache replay. EvalsToFeasible documents three distinct outcomes: 0 =
+// the start point was already feasible, -1 = none found, n>0 = the
+// original search spent n evaluations reaching feasibility. The replay
+// path used to rewrite n>0 to 0 — conflating "replayed for free" (which
+// CacheHit already signals) with "feasible from the start" and
+// corrupting every consumer that compares search effort across runs.
+func TestCacheHitPreservesEvalsToFeasible(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	cache, err := NewCache(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reject the first few candidates so the cold search pays a nonzero
+	// price for feasibility (the equation seed alone would cost 0). The
+	// hook is an execution knob: it does not move the content address.
+	opts := Options{
+		Seed: 5, MaxEvals: 200, PatternIter: 60,
+		Mode: hybrid.EquationOnly, Cache: cache,
+		EvalHook: func(_ context.Context, eval int) error {
+			if eval <= 4 {
+				return fmt.Errorf("injected warm-up rejection at eval %d", eval)
+			}
+			return nil
+		},
+	}
+	cold, err := Synthesize(context.Background(), spec, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.EvalsToFeasible <= 0 {
+		t.Fatalf("cold run EvalsToFeasible = %d, hook should have delayed feasibility", cold.EvalsToFeasible)
+	}
+	warm, err := Synthesize(context.Background(), spec, proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.Evals != 0 {
+		t.Fatalf("warm run: hit=%v evals=%d", warm.CacheHit, warm.Evals)
+	}
+	if warm.EvalsToFeasible != cold.EvalsToFeasible {
+		t.Fatalf("cache replay corrupted EvalsToFeasible: stored %d, replayed %d",
+			cold.EvalsToFeasible, warm.EvalsToFeasible)
+	}
+}
+
 // TestCacheDiskConcurrentSameKeyPut hammers one key with concurrent
 // writers — the daemon's single-flight makes same-key writes unlikely
 // but not impossible (CLI runs and the service can share a -cache-dir)

@@ -172,6 +172,42 @@ func TestSynthesizePanicIsolated(t *testing.T) {
 	}
 }
 
+// TestBatchEvalHookRejectsWholeChunk: when the fault hook rejects every
+// candidate in an annealing chunk, scoreBatch must skip the simulation
+// kernel instead of handing it a zero-length batch, while the rejected
+// candidates still count as spent budget and the search routes around
+// the dead chunks to a feasible design.
+func TestBatchEvalHookRejectsWholeChunk(t *testing.T) {
+	spec, proc := lateStageSpec(t)
+	rejected := 0
+	// BatchEval=4 and one seed evaluation put the first two annealing
+	// chunks at ordinals 2–5 and 6–9; rejecting exactly that range makes
+	// both chunks all-rejected.
+	res, err := Synthesize(context.Background(), spec, proc, Options{
+		Seed: 31, MaxEvals: 40, PatternIter: 20,
+		Mode: hybrid.EquationOnly, BatchEval: 4,
+		EvalHook: func(_ context.Context, eval int) error {
+			if eval >= 2 && eval <= 9 {
+				rejected++
+				return fmt.Errorf("injected fault at eval %d", eval)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("all-rejected chunks aborted the search: %v", err)
+	}
+	if rejected != 8 {
+		t.Fatalf("hook rejected %d candidates, want the two full chunks (8)", rejected)
+	}
+	if !res.Feasible {
+		t.Fatalf("search failed to route around rejected chunks: %v", res.Report.Failures)
+	}
+	if res.Evals < 10 {
+		t.Fatalf("rejected candidates must still count as spent budget: Evals = %d", res.Evals)
+	}
+}
+
 // TestEvalHookFaultsAreSearchOutcomes: sporadic evaluator failures are
 // infeasible candidates, not engine faults — the search must route
 // around them and still deliver a feasible design.

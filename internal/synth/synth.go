@@ -54,6 +54,15 @@ type Options struct {
 	// trajectory than the default; like BatchEval it joins the cache key
 	// only when set.
 	NewtonReuse bool
+	// Surrogate interleaves deterministic quadratic-model proposals with
+	// the annealer's random moves: a per-coordinate quadratic fit over
+	// the log-space sizings already evaluated proposes its trust-clamped
+	// minimizer every few moves in place of a random perturbation (see
+	// surrogate.go). The model is fit with exact least squares over an
+	// order-pinned history — no extra randomness — so the trajectory is
+	// still deterministic, just different from the default; like
+	// BatchEval the knob joins the cache key only when set.
+	Surrogate bool
 	// Restarts repeats the anneal+polish pipeline from fresh random seeds
 	// and keeps the best outcome; use >1 when the power comparison must
 	// be low-variance (the figure-reproduction sweeps do).
@@ -124,7 +133,13 @@ func (o *Options) defaults() {
 	if o.WarmStart != nil {
 		// Retargeting: the seed is near-feasible, so spend a fraction of
 		// the budget on local refinement instead of global exploration.
+		// Clamp to one evaluation so a small caller budget (racing rungs
+		// run with MaxEvals as low as 2–8) never silently zeroes the
+		// annealing loop and skips global search entirely.
 		o.MaxEvals /= 8
+		if o.MaxEvals < 1 {
+			o.MaxEvals = 1
+		}
 		o.InitTemp /= 10
 	}
 }
@@ -145,6 +160,12 @@ type Result struct {
 	// CacheHit marks a result replayed from Options.Cache instead of a
 	// fresh search; Evals is 0 on such results.
 	CacheHit bool
+	// SurrogateProposals / SurrogateAccepted count the quadratic-model
+	// sizing proposals issued to the evaluator and the subset the
+	// annealer accepted as incumbent (0 unless Options.Surrogate; summed
+	// across successful restarts).
+	SurrogateProposals int
+	SurrogateAccepted  int
 }
 
 // runRestart is the single-restart pipeline behind Synthesize; a
@@ -168,9 +189,9 @@ func Synthesize(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process,
 		if res, ok := opts.Cache.Get(cacheKey); ok {
 			res.CacheHit = true
 			res.Evals = 0 // no evaluator calls were spent this run
-			if res.EvalsToFeasible > 0 {
-				res.EvalsToFeasible = 0
-			}
+			// EvalsToFeasible is preserved as stored: it records what the
+			// original search cost, and 0 already means "the start point was
+			// feasible" — CacheHit is the signal that this replay was free.
 			return res, nil
 		}
 	}
@@ -216,6 +237,7 @@ func Synthesize(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process,
 	var firstErr error
 	totalEvals := 0
 	firstFeasibleAt := -1
+	surProps, surAcc := 0, 0
 	for _, out := range outs {
 		// Failed restarts still spent evaluator calls; count them so
 		// Evals reflects the true search cost and EvalsToFeasible offsets
@@ -227,6 +249,8 @@ func Synthesize(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process,
 			}
 			continue
 		}
+		surProps += out.res.SurrogateProposals
+		surAcc += out.res.SurrogateAccepted
 		if out.res.EvalsToFeasible >= 0 && firstFeasibleAt < 0 {
 			firstFeasibleAt = totalEvals - out.evals + out.res.EvalsToFeasible
 		}
@@ -242,6 +266,8 @@ func Synthesize(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Process,
 	}
 	best.Evals = totalEvals
 	best.EvalsToFeasible = firstFeasibleAt
+	best.SurrogateProposals = surProps
+	best.SurrogateAccepted = surAcc
 	if opts.Cache != nil {
 		opts.Cache.Put(cacheKey, best)
 	}
@@ -295,21 +321,27 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 	if best.feasible() {
 		firstFeasible = 0
 	}
+	var sur *surrogate
+	if opts.Surrogate {
+		sur = newSurrogate(len(eqSeed.Vector()))
+		sur.observe(best)
+	}
 
 	// Simulated annealing over log-space perturbations. The context is
 	// the abort signal: it is checked once per move, so a cancelled study
 	// stops after the candidate (or batch) in flight.
 	temp := opts.InitTemp
-	fold := func(sc scored) {
+	fold := func(sc scored) bool {
+		accepted := false
 		if sc.err == nil {
 			if firstFeasible < 0 && sc.feasible() {
 				firstFeasible = sc.ord
 			}
-			accept := sc.cost < cur.cost
-			if !accept && temp > 0 {
-				accept = rng.Float64() < math.Exp((cur.cost-sc.cost)/math.Max(temp*math.Abs(cur.cost)+1e-12, 1e-12))
+			accepted = sc.cost < cur.cost
+			if !accepted && temp > 0 {
+				accepted = rng.Float64() < math.Exp((cur.cost-sc.cost)/math.Max(temp*math.Abs(cur.cost)+1e-12, 1e-12))
 			}
-			if accept {
+			if accepted {
 				cur = sc
 				if sc.cost < best.cost {
 					best = sc
@@ -317,13 +349,34 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 			}
 		}
 		temp *= opts.CoolRate
+		return accepted
 	}
+	moves := 0
 	for ev.evals < opts.MaxEvals {
 		if err := ctx.Err(); err != nil {
 			return nil, ev.evals, err
 		}
+		moves++
 		if opts.BatchEval <= 1 {
-			fold(ev.score(ctx, perturb(rng, cur.sizing, temp, proc)))
+			// Every surrogatePeriod-th move the quadratic model, when it
+			// has something to say, takes the slot a random perturbation
+			// would have used. Skipping the perturb shifts the RNG stream
+			// relative to a surrogate-off run, which is fine: Surrogate is
+			// part of the cache key, like BatchEval.
+			if sur != nil && moves%surrogatePeriod == 0 {
+				if cand, ok := sur.propose(cur.sizing, proc); ok {
+					sur.proposals++
+					sc := ev.score(ctx, cand)
+					sur.observe(sc)
+					if fold(sc) {
+						sur.accepted++
+					}
+					continue
+				}
+			}
+			sc := ev.score(ctx, perturb(rng, cur.sizing, temp, proc))
+			sur.observe(sc)
+			fold(sc)
 			continue
 		}
 		// Batched move: every perturbation starts from the incumbent and
@@ -336,11 +389,25 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 			n = rem
 		}
 		cands := make([]opamp.Amp, n)
+		surIdx := -1
 		for j := range cands {
+			// In batch mode a surrogate proposal rides as candidate 0 of
+			// the periodic batch; the remaining slots stay random draws.
+			if j == 0 && sur != nil && moves%surrogatePeriod == 0 {
+				if cand, ok := sur.propose(cur.sizing, proc); ok {
+					cands[0] = cand
+					surIdx = 0
+					sur.proposals++
+					continue
+				}
+			}
 			cands[j] = perturb(rng, cur.sizing, temp, proc)
 		}
-		for _, sc := range ev.scoreBatch(ctx, cands) {
-			fold(sc)
+		for j, sc := range ev.scoreBatch(ctx, cands) {
+			sur.observe(sc)
+			if fold(sc) && j == surIdx {
+				sur.accepted++
+			}
 		}
 	}
 
@@ -354,7 +421,7 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 		return nil, ev.evals, fmt.Errorf("synth: no candidate evaluated successfully for stage %d (%d-bit)",
 			spec.Stage, spec.Bits)
 	}
-	return &Result{
+	out := &Result{
 		Sizing:          best.sizing,
 		Metrics:         best.metrics,
 		Report:          best.report,
@@ -362,7 +429,12 @@ func synthesizeOnce(ctx context.Context, spec stagespec.MDACSpec, proc *pdk.Proc
 		Evals:           ev.evals,
 		Cost:            best.cost,
 		EvalsToFeasible: firstFeasible,
-	}, ev.evals, nil
+	}
+	if sur != nil {
+		out.SurrogateProposals = sur.proposals
+		out.SurrogateAccepted = sur.accepted
+	}
+	return out, ev.evals, nil
 }
 
 // scored couples a sizing with its evaluation. ord is the 1-based
@@ -457,13 +529,17 @@ func (ev *evaluator) scoreBatch(ctx context.Context, cands []opamp.Amp) []scored
 		}
 		keep = append(keep, i)
 	}
-	sub := make([]opamp.Amp, len(keep))
-	for j, i := range keep {
-		sub[j] = cands[i]
-	}
-	ms, errs := ev.se.EvaluateBatch(ctx, sub)
-	for j, i := range keep {
-		out[i] = ev.finish(cands[i], out[i].ord, ms[j], errs[j])
+	// The hook can reject every candidate in a chunk; skip the kernel
+	// call instead of handing it a zero-length batch.
+	if len(keep) > 0 {
+		sub := make([]opamp.Amp, len(keep))
+		for j, i := range keep {
+			sub[j] = cands[i]
+		}
+		ms, errs := ev.se.EvaluateBatch(ctx, sub)
+		for j, i := range keep {
+			out[i] = ev.finish(cands[i], out[i].ord, ms[j], errs[j])
+		}
 	}
 	if ev.progress != nil {
 		share := time.Since(start) / time.Duration(len(cands))

@@ -245,6 +245,38 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 }
 
+// TestWarmStartTinyBudgetClamped: the warm-start schedule shrink used to
+// integer-divide MaxEvals to zero for any retarget budget under 8, so
+// exactly the cheap low-fidelity runs the racing rungs issue lost their
+// entire annealing allowance without a word. The shrink must clamp to at
+// least one evaluation, and the full pipeline must survive a MaxEvals=4
+// warm-started run.
+func TestWarmStartTinyBudgetClamped(t *testing.T) {
+	o := Options{MaxEvals: 4, WarmStart: opamp.MillerSizing{}}
+	o.defaults()
+	if o.MaxEvals < 1 {
+		t.Fatalf("warm-start shrink zeroed the annealing budget: MaxEvals = %d", o.MaxEvals)
+	}
+
+	spec, proc := lateStageSpec(t)
+	cold, err := Synthesize(context.Background(), spec, proc, Options{
+		Seed: 5, MaxEvals: 120, PatternIter: 60, Mode: hybrid.EquationOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Synthesize(context.Background(), spec, proc, Options{
+		Seed: 6, MaxEvals: 4, PatternIter: 8, Mode: hybrid.EquationOnly,
+		WarmStart: cold.Sizing,
+	})
+	if err != nil {
+		t.Fatalf("MaxEvals=4 warm-started run failed: %v", err)
+	}
+	if warm.Evals == 0 {
+		t.Fatal("tiny warm-started run recorded no evaluations")
+	}
+}
+
 func TestSynthesizeTelescopicTopology(t *testing.T) {
 	// The sizing engine is topology-generic: a relaxed late stage
 	// synthesizes with the telescopic cascode through the full hybrid

@@ -121,6 +121,63 @@ func BenchmarkStudy13b(b *testing.B) {
 	}
 }
 
+// BenchmarkStudy13bRacing is BenchmarkStudy13b under the
+// successive-halving racing scheduler: the wall-clock and
+// evals-to-feasible numbers the racing search path is accountable to.
+// "cold" starts from nothing; "warm" replays through a primed
+// content-addressed cache (the daemon's steady state).
+func BenchmarkStudy13bRacing(b *testing.B) {
+	mk := func() core.Options {
+		return core.Options{
+			Bits: 13, SampleRate: 40e6, Mode: hybrid.Hybrid, Race: true,
+			Synth: synth.Options{
+				Seed: 7, MaxEvals: 12, PatternIter: 6,
+				BatchEval: 4, NewtonReuse: true,
+			},
+		}
+	}
+	report := func(b *testing.B, st *core.Study) {
+		b.ReportMetric(float64(st.TotalEvals), "evals/study")
+		toFeasible := 0
+		for _, m := range st.MDACs {
+			toFeasible += m.Result.EvalsToFeasible
+		}
+		b.ReportMetric(float64(toFeasible), "evalsToFeasible/study")
+	}
+	b.Run("cold", func(b *testing.B) {
+		var st *core.Study
+		for i := 0; i < b.N; i++ {
+			var err error
+			if st, err = core.Optimize(context.Background(), mk()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, st)
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := synth.NewCache(0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		prime := mk()
+		prime.Synth.Cache = cache
+		if _, err := core.Optimize(context.Background(), prime); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var st *core.Study
+		for i := 0; i < b.N; i++ {
+			o := mk()
+			o.Synth.Cache = cache
+			if st, err = core.Optimize(context.Background(), o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, st)
+		b.ReportMetric(float64(st.CacheHits), "cacheHits/study")
+	})
+}
+
 // BenchmarkACSweep is the swept small-signal leg (the SimOnly
 // transfer-function path): 40 points/decade over 1 kHz – 100 GHz on the
 // broken-loop netlist.
